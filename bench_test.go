@@ -1,0 +1,399 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus ablation benches for the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN / BenchmarkFigureN regenerates the corresponding
+// result from scratch inputs held in a shared suite; per-op time is the cost
+// of reproducing that artifact.
+package libra
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/core"
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/experiments"
+	"github.com/libra-wlan/libra/internal/ml"
+	"github.com/libra-wlan/libra/internal/sim"
+	"github.com/libra-wlan/libra/internal/trace"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite = experiments.NewSuite(42)
+		// Warm the caches so individual benchmarks measure their own work.
+		benchSuite.Main()
+		benchSuite.Test()
+		if _, err := benchSuite.Classifier(); err != nil {
+			panic(err)
+		}
+		benchSuite.Pools()
+	})
+	return benchSuite
+}
+
+// ---- Motivation (Figs 1-3) ----
+
+func BenchmarkFigure1(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure1(s); r.WithBA <= 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure2(s); r.WithBA <= 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure3(s); r.WithBA <= 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// ---- Datasets (Tables 1-2) ----
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := dataset.GenerateMain(42)
+		if c.Len() != 1336 {
+			b.Fatalf("entries = %d", c.Len())
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := dataset.GenerateTest(43)
+		if c.Len() != 456 {
+			b.Fatalf("entries = %d", c.Len())
+		}
+	}
+}
+
+// ---- PHY metric CDFs (Figs 4-9) ----
+
+func benchMetricFigure(b *testing.B, f func(*experiments.Suite) *experiments.Figure) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fig := f(s); len(fig.Panels) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) { benchMetricFigure(b, experiments.Figure4) }
+func BenchmarkFigure5(b *testing.B) { benchMetricFigure(b, experiments.Figure5) }
+func BenchmarkFigure6(b *testing.B) { benchMetricFigure(b, experiments.Figure6) }
+func BenchmarkFigure7(b *testing.B) { benchMetricFigure(b, experiments.Figure7) }
+func BenchmarkFigure8(b *testing.B) { benchMetricFigure(b, experiments.Figure8) }
+func BenchmarkFigure9(b *testing.B) { benchMetricFigure(b, experiments.Figure9) }
+
+// ---- ML study (§6.2, Table 3) ----
+
+func BenchmarkCrossValidation(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CrossValidation(s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransferAccuracy(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TransferAccuracy(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThreeClass(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ThreeClass(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Trace-driven evaluation (Figs 10-13, Table 4) ----
+
+func BenchmarkFigure10(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12(s, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure13(s, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(s, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Hot-path microbenchmarks ----
+
+func BenchmarkSectorSweep(b *testing.B) {
+	s := suite(b)
+	pools := s.Pools()
+	rng := rand.New(rand.NewSource(1))
+	tl := pools.RandomTimeline(trace.Motion, rng)
+	snap := tl.Segments[0].Snap
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sw := snap.Sweep(); len(sw) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+func BenchmarkClassifierInference(b *testing.B) {
+	s := suite(b)
+	clf, err := s.Classifier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := s.TestEntries()[0]
+	f := e.FeatureSlice()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.Classify(f)
+	}
+}
+
+func BenchmarkPolicyEntry(b *testing.B) {
+	s := suite(b)
+	clf, _ := s.Classifier()
+	entries := s.TestEntries()
+	p := sim.Params{BAOverhead: 5 * time.Millisecond, FAT: 2 * time.Millisecond, FlowDur: time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunEntry(entries[i%len(entries)], p, sim.LiBRA, clf)
+	}
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationClassifier compares the accuracy of the four model
+// families as LiBRA's decision core (reported via b.ReportMetric).
+func BenchmarkAblationClassifier(b *testing.B) {
+	s := suite(b)
+	train := s.Main().ToML(true)
+	test := s.Test().ToML(true)
+	for name, factory := range experiments.ModelFactories(1) {
+		b.Run(name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				m := factory()
+				if err := m.Fit(train); err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(test.Y, ml.PredictAll(m, test))
+			}
+			b.ReportMetric(acc*100, "acc%")
+		})
+	}
+}
+
+// BenchmarkAblationMissingACK compares LiBRA with and without the §7
+// missing-ACK rule (without it, a missing ACK always triggers RA first).
+func BenchmarkAblationMissingACK(b *testing.B) {
+	s := suite(b)
+	clf, _ := s.Classifier()
+	entries := s.TestEntries()
+	p := sim.Params{BAOverhead: 5 * time.Millisecond, FAT: 2 * time.Millisecond, FlowDur: time.Second}
+	run := func(b *testing.B, pol sim.Policy) {
+		var bytes float64
+		for i := 0; i < b.N; i++ {
+			bytes = 0
+			for _, e := range entries {
+				bytes += sim.RunEntry(e, p, pol, clf).Bytes
+			}
+		}
+		b.ReportMetric(bytes/1e9, "GB")
+	}
+	b.Run("with-rule", func(b *testing.B) { run(b, sim.LiBRA) })
+	b.Run("ra-always", func(b *testing.B) { run(b, sim.RAFirst) })
+}
+
+// BenchmarkAblationProbing compares the adaptive probe interval
+// T = T0*min(2^k, 25) against a fixed interval on the online controller.
+func BenchmarkAblationProbing(b *testing.B) {
+	for _, k := range []int{0, 3, 10} {
+		b.Run(backoffName(k), func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				total = core.ProbeBackoff(5, k)
+			}
+			b.ReportMetric(float64(total), "frames")
+		})
+	}
+}
+
+func backoffName(k int) string {
+	switch k {
+	case 0:
+		return "fresh"
+	case 3:
+		return "backoff-3"
+	default:
+		return "saturated"
+	}
+}
+
+// BenchmarkAblationWindow compares 2 s vs 40 ms observation windows via the
+// three-class transfer accuracy (the §7 trade-off).
+func BenchmarkAblationWindow(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ThreeClass(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThreeClass compares the native 3-class model against the
+// 2-class model on transfer accuracy.
+func BenchmarkAblationThreeClass(b *testing.B) {
+	s := suite(b)
+	cases := []struct {
+		name  string
+		three bool
+	}{{"two-class", false}, {"three-class", true}}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			train := s.Main().ToML(c.three)
+			test := s.Test().ToML(c.three)
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				rf := &ml.RandomForest{NumTrees: 60, MaxDepth: 10, Seed: 3}
+				if err := rf.Fit(train); err != nil {
+					b.Fatal(err)
+				}
+				acc = ml.Accuracy(test.Y, ml.PredictAll(rf, test))
+			}
+			b.ReportMetric(acc*100, "acc%")
+		})
+	}
+}
+
+// BenchmarkAblationRxInitiated quantifies §7's Tx- vs Rx-initiated design
+// choice: the Rx-initiated variant never hits the missing-ACK blind spot but
+// pays a signaling exchange on every adaptation.
+func BenchmarkAblationRxInitiated(b *testing.B) {
+	s := suite(b)
+	clf, _ := s.Classifier()
+	entries := s.TestEntries()
+	p := sim.Params{BAOverhead: 5 * time.Millisecond, FAT: 2 * time.Millisecond, FlowDur: time.Second}
+	b.Run("tx-initiated", func(b *testing.B) {
+		var delay time.Duration
+		for i := 0; i < b.N; i++ {
+			delay = 0
+			for _, e := range entries {
+				delay += sim.RunEntry(e, p, sim.LiBRA, clf).RecoveryDelay
+			}
+		}
+		b.ReportMetric(float64(delay/time.Duration(len(entries)))/1e6, "ms/break")
+	})
+	b.Run("rx-initiated", func(b *testing.B) {
+		var delay time.Duration
+		for i := 0; i < b.N; i++ {
+			delay = 0
+			for _, e := range entries {
+				delay += sim.RunEntryRxInitiated(e, p, clf).RecoveryDelay
+			}
+		}
+		b.ReportMetric(float64(delay/time.Duration(len(entries)))/1e6, "ms/break")
+	})
+}
+
+// BenchmarkAblationGBT adds gradient-boosted trees to the classifier
+// comparison (a model family the paper did not try).
+func BenchmarkAblationGBT(b *testing.B) {
+	s := suite(b)
+	train := s.Main().ToML(true)
+	test := s.Test().ToML(true)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		g := &ml.GradientBoosting{Trees: 80, Depth: 4}
+		if err := g.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+		acc = ml.Accuracy(test.Y, ml.PredictAll(g, test))
+	}
+	b.ReportMetric(acc*100, "acc%")
+}

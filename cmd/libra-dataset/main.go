@@ -1,0 +1,83 @@
+// Command libra-dataset generates the measurement campaigns of §4-§5 and
+// prints their summaries (Tables 1 and 2). With -json it writes the full
+// entry list to stdout for external analysis, mirroring the public dataset
+// release that accompanies the paper.
+//
+// Usage:
+//
+//	libra-dataset [-seed N] [-which main|test|both] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/experiments"
+)
+
+// jsonEntry is the export schema of one dataset entry.
+type jsonEntry struct {
+	Env        string     `json:"env"`
+	Building   string     `json:"building"`
+	Impairment string     `json:"impairment"`
+	PosID      int        `json:"pos_id"`
+	Features   [7]float64 `json:"features"`
+	InitMCS    int        `json:"init_mcs"`
+	Label      string     `json:"label"`
+	ThRAMbps   float64    `json:"th_ra_mbps"`
+	ThBAMbps   float64    `json:"th_ba_mbps"`
+}
+
+func export(c *dataset.Campaign) error {
+	enc := json.NewEncoder(os.Stdout)
+	for _, e := range c.Entries {
+		je := jsonEntry{
+			Env:        e.Env,
+			Building:   e.Building,
+			Impairment: e.Impairment.String(),
+			PosID:      e.PosID,
+			Features:   e.Features,
+			InitMCS:    int(e.InitMCS),
+			Label:      e.Label.String(),
+			ThRAMbps:   e.ThRABps / 1e6,
+			ThBAMbps:   e.ThBABps / 1e6,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libra-dataset: ")
+	seed := flag.Int64("seed", 42, "campaign random seed")
+	which := flag.String("which", "both", "main, test, or both")
+	asJSON := flag.Bool("json", false, "dump entries as JSON lines instead of summaries")
+	flag.Parse()
+
+	s := experiments.NewSuite(*seed)
+	if *which == "main" || *which == "both" {
+		if *asJSON {
+			if err := export(s.Main()); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Println(experiments.Table1(s))
+		}
+	}
+	if *which == "test" || *which == "both" {
+		if *asJSON {
+			if err := export(s.Test()); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Println(experiments.Table2(s))
+		}
+	}
+}

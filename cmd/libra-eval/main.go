@@ -1,0 +1,60 @@
+// Command libra-eval runs the §8 trace-driven evaluation: the
+// single-impairment comparison (Figs 10-11), the multi-impairment scenarios
+// (Figs 12-13), and the VR case study (Table 4).
+//
+// Usage:
+//
+//	libra-eval [-seed N] [-timelines N] [-skip-single] [-skip-multi] [-skip-vr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/libra-wlan/libra/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libra-eval: ")
+	seed := flag.Int64("seed", 42, "suite random seed")
+	timelines := flag.Int("timelines", experiments.TimelinesPerKind, "random timelines per scenario kind")
+	skipSingle := flag.Bool("skip-single", false, "skip Figs 10-11")
+	skipMulti := flag.Bool("skip-multi", false, "skip Figs 12-13")
+	skipVR := flag.Bool("skip-vr", false, "skip Table 4")
+	flag.Parse()
+
+	s := experiments.NewSuite(*seed)
+	if !*skipSingle {
+		f10, err := experiments.Figure10(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f10)
+		f11, err := experiments.Figure11(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f11)
+	}
+	if !*skipMulti {
+		f12, err := experiments.Figure12(s, *timelines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f12)
+		f13, err := experiments.Figure13(s, *timelines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f13)
+	}
+	if !*skipVR {
+		t4, err := experiments.Table4(s, *timelines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t4)
+	}
+}

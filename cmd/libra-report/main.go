@@ -1,0 +1,38 @@
+// Command libra-report runs the reproduction's shape checks: every
+// qualitative claim of the paper, encoded as an executable assertion against
+// this simulator. It exits non-zero if any claim fails, making it suitable
+// as a repository-level regression gate.
+//
+// Usage:
+//
+//	libra-report [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libra-report: ")
+	seed := flag.Int64("seed", 42, "suite random seed")
+	flag.Parse()
+
+	t0 := time.Now()
+	s := experiments.NewSuite(*seed)
+	table, failures, err := experiments.RunShapeChecks(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table)
+	fmt.Printf("%d checks, %d failures (%v)\n", len(table.Rows), failures, time.Since(t0).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

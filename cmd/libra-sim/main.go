@@ -1,0 +1,146 @@
+// Command libra-sim runs a single custom link-adaptation scenario: place a
+// link in one of the paper's environments, apply an impairment, and compare
+// what every policy (LiBRA, BA First, RA First, and the two oracles) would
+// do — throughput tables, chosen actions, bytes delivered, and recovery
+// delay.
+//
+// Usage:
+//
+//	libra-sim [-env lobby] [-dist 8] [-impair rotate] [-amount 60]
+//	          [-ba 5ms] [-fat 2ms] [-flow 1s] [-seed N]
+//
+// Impairments: backward (amount = extra meters), rotate (amount = degrees),
+// block (amount = lateral offset in meters), interfere (amount = EIRP dBm),
+// none.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/core"
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/env"
+	"github.com/libra-wlan/libra/internal/geom"
+	"github.com/libra-wlan/libra/internal/phased"
+	"github.com/libra-wlan/libra/internal/phy"
+	"github.com/libra-wlan/libra/internal/sim"
+)
+
+// environments maps -env values to constructors and a default Tx placement.
+var environments = map[string]struct {
+	build func() *env.Environment
+	tx    geom.Vec
+}{
+	"lobby":      {env.Lobby, geom.V(2, 4)},
+	"lab":        {env.Lab, geom.V(5.9, 8.8)},
+	"conference": {env.ConferenceRoom, geom.V(0.7, 3.4)},
+	"corridor":   {env.MediumCorridor, geom.V(0.5, 1.6)},
+	"building1":  {env.Building1, geom.V(0.5, 1.25)},
+	"building2":  {env.Building2, geom.V(3, 9)},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libra-sim: ")
+	envName := flag.String("env", "lobby", "environment: lobby, lab, conference, corridor, building1, building2")
+	dist := flag.Float64("dist", 8, "initial Tx-Rx distance in meters")
+	impair := flag.String("impair", "rotate", "impairment: none, backward, rotate, block, interfere")
+	amount := flag.Float64("amount", 60, "impairment magnitude (m, deg, m offset, or dBm)")
+	baOverhead := flag.Duration("ba", 5*time.Millisecond, "beam adaptation overhead")
+	fat := flag.Duration("fat", 2*time.Millisecond, "frame aggregation time per RA probe")
+	flow := flag.Duration("flow", time.Second, "data flow duration")
+	seed := flag.Int64("seed", 42, "random seed (codebooks + classifier training)")
+	flag.Parse()
+
+	spec, ok := environments[*envName]
+	if !ok {
+		log.Fatalf("unknown environment %q", *envName)
+	}
+	e := spec.build()
+
+	// Place the Rx dist meters from the Tx toward the environment center.
+	center := geom.V(e.Width/2, e.Height/2)
+	dir := center.Sub(spec.tx).Norm()
+	rxPos := spec.tx.Add(dir.Scale(*dist))
+	if !e.Contains(rxPos) {
+		log.Fatalf("distance %.1f m leaves the %s bounds (%.1fx%.1f m)", *dist, e.Name, e.Width, e.Height)
+	}
+	tx := phased.NewArray(spec.tx, geom.Deg(dir.Angle()), *seed)
+	rx := phased.NewArray(rxPos, geom.Deg(spec.tx.Sub(rxPos).Angle()), *seed+1)
+	link := channel.NewLink(e, tx, rx)
+
+	// Initial state.
+	pt, pr, initSNR := link.BestPair()
+	initMCS, initTh := phy.BestMCS(initSNR)
+	initMeas := link.Measure(pt, pr)
+	fmt.Printf("environment %s, Rx at %.1f m: beams (%d,%d), SNR %.1f dB, %v, %.0f Mbps\n",
+		e.Name, *dist, pt, pr, initSNR, initMCS, initTh/1e6)
+
+	// Impair.
+	switch *impair {
+	case "none":
+	case "backward":
+		p := rxPos.Add(rxPos.Sub(spec.tx).Norm().Scale(*amount))
+		if !e.Contains(p) {
+			log.Fatalf("backward move leaves the environment")
+		}
+		link.MoveRx(p)
+	case "rotate":
+		link.RotateRx(rx.OrientDeg + *amount)
+	case "block":
+		mid := spec.tx.Add(rxPos.Sub(spec.tx).Scale(0.5))
+		lat := rxPos.Sub(spec.tx).Norm()
+		mid = mid.Add(geom.V(-lat.Y, lat.X).Scale(*amount))
+		link.SetBlockers([]channel.Blocker{channel.DefaultBlocker(mid)})
+	case "interfere":
+		toTx := spec.tx.Sub(rxPos).Norm()
+		place := rxPos.Add(toTx.Scale(0.7 * rxPos.Dist(spec.tx)))
+		link.SetInterferers([]channel.Interferer{{Pos: place, EIRPdBm: *amount, DutyCycle: 0.9}})
+	default:
+		log.Fatalf("unknown impairment %q", *impair)
+	}
+
+	// New state.
+	after := link.Snapshot()
+	snrInit := after.SNRdB(pt, pr)
+	bt, br, snrBest := after.BestPair()
+	fmt.Printf("after %s(%g): initial pair %.1f dB; best pair (%d,%d) %.1f dB\n\n",
+		*impair, *amount, snrInit, bt, br, snrBest)
+
+	entry := &dataset.Entry{InitMCS: initMCS, InitSNRdB: initSNR, InitThBps: initTh,
+		NewSNRInitPair: snrInit, NewSNRBestPair: snrBest}
+	for m := phy.MinMCS; m <= phy.MaxMCS; m++ {
+		entry.InitBeamTh[m] = phy.ExpectedThroughput(m, snrInit)
+		entry.BestBeamTh[m] = phy.ExpectedThroughput(m, snrBest)
+	}
+	entry.Features = dataset.FeaturizeObserved(initMeas, after.Measure(pt, pr), phy.CDR(initMCS, snrInit), initMCS)
+	fmt.Printf("features: SNRdiff %.1f dB, ToFdiff %.1f ns, noisediff %.1f dB, PDPsim %.2f, CSIsim %.2f, CDR %.3f, initMCS %v\n\n",
+		entry.Features[0], entry.Features[1], entry.Features[2], entry.Features[3],
+		entry.Features[4], entry.Features[5], initMCS)
+
+	fmt.Println("training LiBRA's classifier...")
+	clf, err := core.TrainDefaultClassifier(dataset.GenerateMain(*seed), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LiBRA's decision: %v\n\n", clf.Classify(entry.FeatureSlice()))
+
+	p := sim.Params{BAOverhead: *baOverhead, FAT: *fat, FlowDur: *flow}
+	fmt.Printf("%-13s %-12s %-14s %-10s %s\n", "policy", "bytes (MB)", "recovery", "final MCS", "mechanisms")
+	for _, pol := range []sim.Policy{sim.BAFirst, sim.RAFirst, sim.LiBRA, sim.OracleData, sim.OracleDelay} {
+		out := sim.RunEntry(entry, p, pol, clf)
+		mech := ""
+		if out.UsedBA {
+			mech += "BA "
+		}
+		if out.UsedRA {
+			mech += "RA"
+		}
+		fmt.Printf("%-13s %-12.1f %-14v %-10v %s\n",
+			pol, out.Bytes/1e6, out.RecoveryDelay.Round(10*time.Microsecond), out.FinalMCS, mech)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a 60 GHz link in a corridor, train LiBRA's classifier,
+// impair the link three different ways, and ask LiBRA which adaptation
+// mechanism to trigger.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/core"
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/env"
+	"github.com/libra-wlan/libra/internal/geom"
+	"github.com/libra-wlan/libra/internal/phased"
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Train LiBRA's 3-class random forest on the measurement campaign.
+	fmt.Println("generating the training campaign and fitting the classifier...")
+	camp := dataset.GenerateMain(42)
+	clf, err := core.TrainDefaultClassifier(camp, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a link: AP at one end of a corridor, client 8 m away.
+	e := env.MediumCorridor()
+	tx := phased.NewArray(geom.V(0.5, 1.6), 0, 7)
+	rx := phased.NewArray(geom.V(8.5, 1.6), 180, 8)
+	link := channel.NewLink(e, tx, rx)
+
+	txBeam, rxBeam, snr := link.BestPair()
+	mcs, th := phy.BestMCS(snr)
+	initMeas := link.Measure(txBeam, rxBeam)
+	fmt.Printf("link up: beams (%d,%d), SNR %.1f dB, %v, %.0f Mbps\n\n",
+		txBeam, rxBeam, snr, mcs, th/1e6)
+
+	rng := rand.New(rand.NewSource(9))
+	ask := func(name string) {
+		m := link.Measure(txBeam, rxBeam)
+		f := dataset.Featurize(initMeas, m, mcs, rng)
+		action := clf.Classify(f[:])
+		fmt.Printf("%-28s SNR %6.1f dB  ->  LiBRA says: %v\n", name, m.SNRdB, action)
+	}
+
+	// 3a. The client walks backward, still facing the AP: beams stay
+	// aligned, so lowering the MCS should suffice (RA).
+	link.MoveRx(geom.V(10.5, 1.6))
+	ask("client walks backward:")
+	link.MoveRx(geom.V(8.5, 1.6))
+
+	// 3b. The client turns away 60 degrees: only re-beaming helps (BA).
+	link.RotateRx(180 + 60)
+	ask("client rotates 60 deg:")
+	link.RotateRx(180)
+
+	// 3c. Nothing changed: no adaptation needed (NA).
+	ask("nothing changed:")
+}

@@ -1,0 +1,3 @@
+module github.com/libra-wlan/libra
+
+go 1.22

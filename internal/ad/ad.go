@@ -1,0 +1,188 @@
+// Package ad encodes the IEEE 802.11ad MAC/PHY constants and beam-training
+// overhead models behind the paper's evaluation parameters (§8.1):
+//
+//   - the single-carrier MCS table the standard defines for data frames
+//     (MCS 1-12, 385-4620 Mbps; §2 of the paper);
+//   - control-PHY and interframe-space timings, from which the sector level
+//     sweep overhead follows;
+//   - the two sweep-overhead models the paper instantiates: the O(N)
+//     802.11ad procedure with quasi-omni reception (Eqn. 2 of Haider &
+//     Knightly's MOCA — ~0.5 ms at 30° beams, ~5 ms at 3°), and the O(N^2)
+//     exhaustive directional search (Sur et al., SIGMETRICS'15 — ~150 ms at
+//     9° beams, ~250 ms at 7°).
+//
+// The X60-style simulator in internal/phy intentionally keeps its own MCS
+// table (the paper's testbed is not 802.11ad); this package is the
+// 802.11ad-side reference used for overhead derivation, COTS modeling, and
+// documentation.
+package ad
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Control-PHY and interframe timings (IEEE 802.11ad-2012).
+const (
+	// ControlPHYRateMbps is the control PHY (MCS 0) rate used by SSW
+	// frames.
+	ControlPHYRateMbps = 27.5
+	// SSWFrameBytes is the sector sweep frame length.
+	SSWFrameBytes = 26
+	// SBIFS is the short beamforming interframe space.
+	SBIFS = 1 * time.Microsecond
+	// MBIFS is the medium beamforming interframe space.
+	MBIFS = 3 * time.Microsecond
+	// ControlPreamble is the control-PHY preamble + header airtime.
+	ControlPreamble = 8190 * time.Nanosecond // ~4.65us STF + ~3.55us CE/header
+	// MaxFATms is the maximum frame aggregation time in 802.11ad (2 ms);
+	// 802.11ac (and X60) allow 10 ms.
+	MaxFATms = 2
+	// AzimuthSpanDeg is the azimuth coverage a device's codebook spans.
+	AzimuthSpanDeg = 360.0
+)
+
+// SSWFrameTime returns the airtime of one sector sweep frame: preamble plus
+// 26 bytes at the control PHY rate. It evaluates to ~15.8 us, the figure
+// used throughout the 60 GHz literature.
+func SSWFrameTime() time.Duration {
+	bits := float64(SSWFrameBytes * 8)
+	payloadSec := bits / (ControlPHYRateMbps * 1e6)
+	return ControlPreamble + time.Duration(payloadSec*float64(time.Second))
+}
+
+// SectorsFor returns the number of sectors a codebook needs to cover the
+// azimuth span with the given 3 dB beamwidth.
+func SectorsFor(beamwidthDeg float64) int {
+	if beamwidthDeg <= 0 {
+		return 1
+	}
+	return int(math.Ceil(AzimuthSpanDeg / beamwidthDeg))
+}
+
+// SSWFeedbackTime is the sweep-feedback plus ACK exchange closing an SLS.
+const SSWFeedbackTime = 50 * time.Microsecond
+
+// SLSOverhead models the standard O(N) sector level sweep with quasi-omni
+// reception (Eqn. 2 of MOCA, as used in §8.1): an initiator sweep and a
+// responder sweep of N SSW frames each, plus feedback. With 30° beams
+// (today's COTS devices) it lands near 0.5 ms; with the 3° minimum beamwidth
+// the standard allows it approaches 5 ms.
+func SLSOverhead(beamwidthDeg float64) time.Duration {
+	n := time.Duration(SectorsFor(beamwidthDeg))
+	perFrame := SSWFrameTime() + SBIFS
+	return 2*n*perFrame + 2*MBIFS + SSWFeedbackTime
+}
+
+// pairMeasureTime is the per-beam-pair cost of the exhaustive directional
+// search: an SSW exchange plus Rx beam switching and settling, calibrated to
+// the measured sweep durations of Sur et al. (Fig. 11: ~150 ms at 9°, ~250
+// ms at 7°).
+const pairMeasureTime = 94 * time.Microsecond
+
+// ExhaustiveOverhead models the O(N^2) search that trains Tx and Rx beams
+// jointly with directional reception — the regime the paper uses for its
+// 150 ms and 250 ms BA overhead points.
+func ExhaustiveOverhead(beamwidthDeg float64) time.Duration {
+	n := SectorsFor(beamwidthDeg)
+	return time.Duration(n*n) * pairMeasureTime
+}
+
+// SCMCS describes one 802.11ad single-carrier data MCS.
+type SCMCS struct {
+	// Index is the standard MCS number (1-12).
+	Index int
+	// RateMbps is the PHY data rate.
+	RateMbps float64
+	// Modulation names the constellation.
+	Modulation string
+	// CodeRate is the LDPC code rate.
+	CodeRate float64
+	// Repetition is the block repetition factor (2 for MCS 1, else 1).
+	Repetition int
+	// SensitivityDBm is the standard's receive sensitivity requirement.
+	SensitivityDBm float64
+}
+
+// SC PHY rate ingredients: 1.76 GHz symbol rate and the 448-of-512 data
+// blocking factor of the SC block structure.
+const (
+	scSymbolRateMHz = 1760.0
+	scBlockFactor   = 448.0 / 512.0
+)
+
+// BitsPerSymbol returns the constellation order of a modulation name.
+func BitsPerSymbol(modulation string) float64 {
+	switch modulation {
+	case "pi/2-QPSK":
+		return 2
+	case "pi/2-16QAM":
+		return 4
+	default: // pi/2-BPSK
+		return 1
+	}
+}
+
+// Rate computes the SC PHY rate (Mbps) from first principles:
+// symbolRate x bits/symbol x codeRate x blockFactor / repetition.
+func (m SCMCS) Rate() float64 {
+	rep := m.Repetition
+	if rep < 1 {
+		rep = 1
+	}
+	return scSymbolRateMHz * BitsPerSymbol(m.Modulation) * m.CodeRate * scBlockFactor / float64(rep)
+}
+
+// SCMCSTable lists the 12 single-carrier data MCSs of 802.11ad (§2: "the
+// 802.11ad standard defines 12 MCSs for data frame transmission for the
+// single-carrier PHY, yielding data rates from 385-4620 Mbps").
+var SCMCSTable = []SCMCS{
+	{1, 385, "pi/2-BPSK", 1. / 2, 2, -68},
+	{2, 770, "pi/2-BPSK", 1. / 2, 1, -66},
+	{3, 962.5, "pi/2-BPSK", 5. / 8, 1, -65},
+	{4, 1155, "pi/2-BPSK", 3. / 4, 1, -64},
+	{5, 1251.25, "pi/2-BPSK", 13. / 16, 1, -62},
+	{6, 1540, "pi/2-QPSK", 1. / 2, 1, -63},
+	{7, 1925, "pi/2-QPSK", 5. / 8, 1, -62},
+	{8, 2310, "pi/2-QPSK", 3. / 4, 1, -61},
+	{9, 2502.5, "pi/2-QPSK", 13. / 16, 1, -59},
+	{10, 3080, "pi/2-16QAM", 1. / 2, 1, -55},
+	{11, 3850, "pi/2-16QAM", 5. / 8, 1, -54},
+	{12, 4620, "pi/2-16QAM", 3. / 4, 1, -53},
+}
+
+// LookupSC returns the table entry for a standard MCS index.
+func LookupSC(index int) (SCMCS, error) {
+	for _, m := range SCMCSTable {
+		if m.Index == index {
+			return m, nil
+		}
+	}
+	return SCMCS{}, fmt.Errorf("ad: no SC MCS %d (valid: 1-12)", index)
+}
+
+// MinSCRateMbps and MaxSCRateMbps bound the SC data rates (385-4620 Mbps).
+func MinSCRateMbps() float64 { return SCMCSTable[0].RateMbps }
+
+// MaxSCRateMbps returns the top SC data rate.
+func MaxSCRateMbps() float64 { return SCMCSTable[len(SCMCSTable)-1].RateMbps }
+
+// AMPDU parameters (§6.1: "the length of an X60 frame is same as the
+// maximum allowed AMPDU length in 802.11n/ac").
+const (
+	// MaxAMPDUBytes is the maximum A-MPDU length in 802.11ad.
+	MaxAMPDUBytes = 262143
+	// MaxMPDUBytes is the maximum MPDU size.
+	MaxMPDUBytes = 7995
+)
+
+// SFER converts per-MPDU delivery outcomes into the subframe error rate
+// metric legacy rate adaptation uses (§6.1 approximates it with the X60
+// codeword delivery ratio).
+func SFER(delivered, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 1 - float64(delivered)/float64(total)
+}

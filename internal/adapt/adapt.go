@@ -1,0 +1,239 @@
+// Package adapt implements the two 60 GHz link adaptation mechanisms the
+// paper studies — beam adaptation (BA) and rate adaptation (RA) — in the
+// standard-compliant variants the evaluation uses:
+//
+//   - ExhaustiveSLS: the naive O(N^2) sweep over all Tx x Rx beam pairs used
+//     to establish ground truth (overhead up to hundreds of ms for
+//     directional reception, Fig. 11 of Sur et al.).
+//   - StandardSLS: the 802.11ad O(N) procedure — each side trains its Tx
+//     beam while the other receives quasi-omni, then Rx training follows.
+//   - TxOnlySLS: what COTS devices actually do — Tx training only, always
+//     receiving quasi-omni, halving the overhead again.
+//   - ProbeDownRA: the paper's frame-based RA (§7): start at the current
+//     MCS, probe every lower MCS with one aggregated frame until the
+//     highest-throughput working MCS is found; trigger BA if none works.
+//   - SNRMapRA: the direct SNR->MCS mapping proposed by early 60 GHz work,
+//     included as a baseline the paper argues against.
+//
+// BA algorithms report their training overhead so the simulator can charge
+// it against throughput and link recovery delay.
+package adapt
+
+import (
+	"math"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/mac"
+	"github.com/libra-wlan/libra/internal/phased"
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+// SSWFrameTime is the airtime of one sector-sweep control frame. 802.11ad
+// SSW frames are short control frames at the most robust rate.
+const SSWFrameTime = 15 * time.Microsecond
+
+// BAResult is the outcome of one beam-adaptation run.
+type BAResult struct {
+	// TxBeam, RxBeam are the selected beams (RxBeam may be
+	// phased.QuasiOmniID for Tx-only training).
+	TxBeam, RxBeam int
+	// SNRdB is the SNR measured on the selected configuration.
+	SNRdB float64
+	// Overhead is the training airtime during which no data flows.
+	Overhead time.Duration
+	// Probes is the number of sector-sweep measurements taken.
+	Probes int
+}
+
+// BeamAdapter is a beam-training algorithm.
+type BeamAdapter interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Adapt trains beams on the link and returns the selection.
+	Adapt(l *channel.Link) BAResult
+}
+
+// ExhaustiveSLS tests all Tx x Rx beam pairs: O(N^2) probes.
+type ExhaustiveSLS struct{}
+
+// Name implements BeamAdapter.
+func (ExhaustiveSLS) Name() string { return "exhaustive-sls" }
+
+// Adapt implements BeamAdapter.
+func (ExhaustiveSLS) Adapt(l *channel.Link) BAResult {
+	tx, rx, snr := l.BestPair()
+	n := phased.NumBeams * phased.NumBeams
+	return BAResult{
+		TxBeam:   tx,
+		RxBeam:   rx,
+		SNRdB:    snr,
+		Overhead: time.Duration(n) * SSWFrameTime,
+		Probes:   n,
+	}
+}
+
+// StandardSLS is the 802.11ad two-phase O(N) procedure: Tx sector sweep with
+// quasi-omni reception, then an Rx sweep with the chosen Tx beam.
+type StandardSLS struct{}
+
+// Name implements BeamAdapter.
+func (StandardSLS) Name() string { return "standard-sls" }
+
+// Adapt implements BeamAdapter.
+func (StandardSLS) Adapt(l *channel.Link) BAResult {
+	bestTx, _ := l.BestTxQuasiOmni()
+	bestRx, bestSNR := 0, math.Inf(-1)
+	for r := 0; r < phased.NumBeams; r++ {
+		if s := l.SNRdB(bestTx, r); s > bestSNR {
+			bestSNR, bestRx = s, r
+		}
+	}
+	n := 2 * phased.NumBeams
+	return BAResult{
+		TxBeam:   bestTx,
+		RxBeam:   bestRx,
+		SNRdB:    bestSNR,
+		Overhead: time.Duration(n) * SSWFrameTime,
+		Probes:   n,
+	}
+}
+
+// TxOnlySLS trains only the Tx beam and keeps quasi-omni reception, as COTS
+// 802.11ad devices do.
+type TxOnlySLS struct{}
+
+// Name implements BeamAdapter.
+func (TxOnlySLS) Name() string { return "txonly-sls" }
+
+// Adapt implements BeamAdapter.
+func (TxOnlySLS) Adapt(l *channel.Link) BAResult {
+	bestTx, snr := l.BestTxQuasiOmni()
+	return BAResult{
+		TxBeam:   bestTx,
+		RxBeam:   phased.QuasiOmniID,
+		SNRdB:    snr,
+		Overhead: time.Duration(phased.NumBeams) * SSWFrameTime,
+		Probes:   phased.NumBeams,
+	}
+}
+
+// RAResult is the outcome of one rate-adaptation run.
+type RAResult struct {
+	// MCS is the selected scheme.
+	MCS phy.MCS
+	// ThroughputBps is the throughput measured at the selection.
+	ThroughputBps float64
+	// FramesProbed is how many aggregated frames the search consumed (the
+	// search overhead is FramesProbed x frame aggregation time).
+	FramesProbed int
+	// Working reports whether a working MCS was found at all. When false
+	// the caller must trigger BA and retry (§7).
+	Working bool
+	// DeliveredBits counts payload bits delivered by probe frames: RA
+	// probes are data frames, so throughput during RA is suboptimal but
+	// not zero (§5.2).
+	DeliveredBits float64
+}
+
+// RateAdapter is a rate-search algorithm run on a station after a link
+// impairment.
+type RateAdapter interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Adapt searches for the best working MCS at or below start, probing
+	// via the station, and leaves the station configured at the result.
+	Adapt(s *mac.Station, start phy.MCS) RAResult
+}
+
+// ProbeDownRA is the paper's frame-based downward rate search: send one
+// aggregated frame at each MCS from start downward; keep the
+// highest-throughput working MCS found.
+type ProbeDownRA struct{}
+
+// Name implements RateAdapter.
+func (ProbeDownRA) Name() string { return "probe-down" }
+
+// Adapt implements RateAdapter.
+func (ProbeDownRA) Adapt(s *mac.Station, start phy.MCS) RAResult {
+	if start > phy.MaxMCS {
+		start = phy.MaxMCS
+	}
+	if start < phy.MinMCS {
+		start = phy.MinMCS
+	}
+	res := RAResult{MCS: start}
+	bestTh := 0.0
+	bestMCS := phy.MCS(-1)
+	for m := start; m >= phy.MinMCS; m-- {
+		rec := s.ProbeMCS(m)
+		res.FramesProbed++
+		res.DeliveredBits += rec.DeliveredBits
+		th := rec.ThroughputBps()
+		if phy.IsWorking(rec.CDR, th) && th > bestTh {
+			bestTh = th
+			bestMCS = m
+		}
+		// Once a working MCS is found, going further down only reduces
+		// the PHY rate; the waterfall CDR curves make a lower MCS beat a
+		// working higher one only marginally, but the paper's algorithm
+		// continues "until it finds the highest-throughput working MCS",
+		// so stop when throughput starts decreasing.
+		if bestMCS >= 0 && th < bestTh {
+			break
+		}
+	}
+	if bestMCS < 0 {
+		res.Working = false
+		res.MCS = phy.MinMCS
+		s.MCS = phy.MinMCS
+		return res
+	}
+	res.Working = true
+	res.MCS = bestMCS
+	res.ThroughputBps = bestTh
+	s.MCS = bestMCS
+	return res
+}
+
+// SNRMapRA selects the MCS by direct SNR thresholding, the baseline approach
+// from early 60 GHz studies. It probes once to read the SNR off the ACK and
+// once more at the mapped MCS.
+type SNRMapRA struct {
+	// MarginDB backs the selection off the 50%-CDR point to reach the
+	// high-CDR plateau (default 3 dB when zero).
+	MarginDB float64
+}
+
+// Name implements RateAdapter.
+func (SNRMapRA) Name() string { return "snr-map" }
+
+// Adapt implements RateAdapter.
+func (r SNRMapRA) Adapt(s *mac.Station, start phy.MCS) RAResult {
+	margin := r.MarginDB
+	if margin == 0 {
+		margin = 3
+	}
+	probe := s.ProbeMCS(phy.MinMCS)
+	res := RAResult{FramesProbed: 1, DeliveredBits: probe.DeliveredBits}
+	if !probe.ACKed {
+		res.Working = false
+		res.MCS = phy.MinMCS
+		s.MCS = phy.MinMCS
+		return res
+	}
+	chosen := phy.MinMCS
+	for m := phy.MinMCS; m <= start && m <= phy.MaxMCS; m++ {
+		if probe.SNRdB >= m.SNRReqDB()+margin {
+			chosen = m
+		}
+	}
+	rec := s.ProbeMCS(chosen)
+	res.FramesProbed++
+	res.DeliveredBits += rec.DeliveredBits
+	res.MCS = chosen
+	res.ThroughputBps = rec.ThroughputBps()
+	res.Working = phy.IsWorking(rec.CDR, res.ThroughputBps)
+	s.MCS = chosen
+	return res
+}

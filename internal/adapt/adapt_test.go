@@ -1,0 +1,200 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/env"
+	"github.com/libra-wlan/libra/internal/geom"
+	"github.com/libra-wlan/libra/internal/mac"
+	"github.com/libra-wlan/libra/internal/phased"
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+func testLink(d float64) *channel.Link {
+	e := env.MediumCorridor()
+	tx := phased.NewArray(geom.V(0.5, 1.6), 0, 11)
+	rx := phased.NewArray(geom.V(0.5+d, 1.6), 180, 12)
+	return channel.NewLink(e, tx, rx)
+}
+
+func TestExhaustiveSLSFindsBest(t *testing.T) {
+	l := testLink(6)
+	res := ExhaustiveSLS{}.Adapt(l)
+	tb, rb, snr := l.BestPair()
+	if res.TxBeam != tb || res.RxBeam != rb || res.SNRdB != snr {
+		t.Errorf("exhaustive = (%d,%d,%v), truth = (%d,%d,%v)",
+			res.TxBeam, res.RxBeam, res.SNRdB, tb, rb, snr)
+	}
+	if res.Probes != phased.NumBeams*phased.NumBeams {
+		t.Errorf("probes = %d", res.Probes)
+	}
+}
+
+func TestStandardSLSNearOptimal(t *testing.T) {
+	l := testLink(6)
+	ex := ExhaustiveSLS{}.Adapt(l)
+	st := StandardSLS{}.Adapt(l)
+	// The O(N) procedure may miss the joint optimum but must come within a
+	// few dB on a clean LOS link.
+	if st.SNRdB < ex.SNRdB-3 {
+		t.Errorf("standard SLS %v dB vs exhaustive %v dB", st.SNRdB, ex.SNRdB)
+	}
+	if st.Probes != 2*phased.NumBeams {
+		t.Errorf("probes = %d", st.Probes)
+	}
+}
+
+func TestTxOnlySLS(t *testing.T) {
+	l := testLink(6)
+	res := TxOnlySLS{}.Adapt(l)
+	if res.RxBeam != phased.QuasiOmniID {
+		t.Errorf("rx beam = %d, want quasi-omni", res.RxBeam)
+	}
+	if res.Probes != phased.NumBeams {
+		t.Errorf("probes = %d", res.Probes)
+	}
+	wantTx, _ := l.BestTxQuasiOmni()
+	if res.TxBeam != wantTx {
+		t.Errorf("tx beam = %d, want %d", res.TxBeam, wantTx)
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	l := testLink(6)
+	ex := ExhaustiveSLS{}.Adapt(l)
+	st := StandardSLS{}.Adapt(l)
+	tx := TxOnlySLS{}.Adapt(l)
+	if !(tx.Overhead < st.Overhead && st.Overhead < ex.Overhead) {
+		t.Errorf("overhead ordering broken: %v %v %v", tx.Overhead, st.Overhead, ex.Overhead)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (ExhaustiveSLS{}).Name() == "" || (StandardSLS{}).Name() == "" || (TxOnlySLS{}).Name() == "" {
+		t.Error("BA names empty")
+	}
+	if (ProbeDownRA{}).Name() == "" || (SNRMapRA{}).Name() == "" {
+		t.Error("RA names empty")
+	}
+}
+
+func stationOn(l *channel.Link, seed int64) *mac.Station {
+	s := mac.NewStation(l, rand.New(rand.NewSource(seed)))
+	tb, rb, snr := l.BestPair()
+	s.TxBeam, s.RxBeam = tb, rb
+	s.MCS, _ = phy.BestMCS(snr)
+	return s
+}
+
+func TestProbeDownFindsWorking(t *testing.T) {
+	l := testLink(6)
+	s := stationOn(l, 1)
+	res := ProbeDownRA{}.Adapt(s, phy.MaxMCS)
+	if !res.Working {
+		t.Fatal("no working MCS on a healthy 6 m link")
+	}
+	if s.MCS != res.MCS {
+		t.Error("station not left at the selected MCS")
+	}
+	if res.FramesProbed <= 0 {
+		t.Error("no probes counted")
+	}
+	if res.ThroughputBps < phy.WorkingMinThroughputBps {
+		t.Errorf("selected throughput %v below working threshold", res.ThroughputBps)
+	}
+}
+
+func TestProbeDownDeadLink(t *testing.T) {
+	l := testLink(6)
+	l.ImplLossDB = 90
+	l.Invalidate()
+	s := stationOn(l, 2)
+	res := ProbeDownRA{}.Adapt(s, phy.MaxMCS)
+	if res.Working {
+		t.Fatal("working MCS reported on a dead link")
+	}
+	if s.MCS != phy.MinMCS {
+		t.Errorf("station MCS = %v after failure", s.MCS)
+	}
+	// It probed the whole ladder.
+	if res.FramesProbed != phy.NumMCS {
+		t.Errorf("probes = %d, want %d", res.FramesProbed, phy.NumMCS)
+	}
+}
+
+func TestProbeDownClampsStart(t *testing.T) {
+	l := testLink(6)
+	s := stationOn(l, 3)
+	res := ProbeDownRA{}.Adapt(s, phy.MCS(99))
+	if !res.Working {
+		t.Error("clamped start failed")
+	}
+	res = ProbeDownRA{}.Adapt(s, phy.MCS(-5))
+	if res.FramesProbed < 1 {
+		t.Error("clamped negative start did not probe")
+	}
+}
+
+func TestProbeDownDeliversBytesDuringSearch(t *testing.T) {
+	// RA probes are data frames: throughput during RA is not zero (§5.2).
+	l := testLink(6)
+	s := stationOn(l, 4)
+	res := ProbeDownRA{}.Adapt(s, s.MCS)
+	if res.DeliveredBits <= 0 {
+		t.Error("probe frames delivered nothing on a live link")
+	}
+}
+
+func TestSNRMapSelectsReasonable(t *testing.T) {
+	l := testLink(6)
+	s := stationOn(l, 5)
+	res := SNRMapRA{}.Adapt(s, phy.MaxMCS)
+	if !res.Working {
+		t.Fatal("SNR map failed on a healthy link")
+	}
+	// The mapped MCS must be supported by the actual SNR.
+	snr := l.SNRdB(s.TxBeam, s.RxBeam)
+	if res.MCS.SNRReqDB() > snr {
+		t.Errorf("mapped %v requires %v dB but link has %v", res.MCS, res.MCS.SNRReqDB(), snr)
+	}
+}
+
+func TestSNRMapDeadLink(t *testing.T) {
+	l := testLink(6)
+	l.ImplLossDB = 90
+	l.Invalidate()
+	s := stationOn(l, 6)
+	res := SNRMapRA{}.Adapt(s, phy.MaxMCS)
+	if res.Working {
+		t.Error("SNR map claimed working on a dead link")
+	}
+}
+
+func TestSNRMapRespectsStartCap(t *testing.T) {
+	l := testLink(3) // strong link
+	s := stationOn(l, 7)
+	res := SNRMapRA{}.Adapt(s, phy.MCS(2))
+	if res.MCS > 2 {
+		t.Errorf("SNR map exceeded the start cap: %v", res.MCS)
+	}
+}
+
+func TestBAThenRAWorkflow(t *testing.T) {
+	// The §5.2 compound: after losing alignment, BA restores the beams and
+	// RA finds a working rate.
+	l := testLink(8)
+	s := stationOn(l, 8)
+	l.RotateRx(180 + 55) // misalign
+	res := ProbeDownRA{}.Adapt(s, s.MCS)
+	if res.Working {
+		t.Skip("link survived rotation; geometry-specific")
+	}
+	ba := StandardSLS{}.Adapt(l)
+	s.TxBeam, s.RxBeam = ba.TxBeam, ba.RxBeam
+	res2 := ProbeDownRA{}.Adapt(s, phy.MaxMCS)
+	if !res2.Working {
+		t.Error("BA followed by RA failed to restore the link")
+	}
+}

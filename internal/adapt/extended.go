@@ -1,0 +1,137 @@
+package adapt
+
+import (
+	"math"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/phased"
+)
+
+// HierarchicalSLS is a two-level beam search in the spirit of multi-level
+// codebook protocols (Haider & Knightly's MOCA, IEEE 802.11ad's optional
+// beam refinement phase): a coarse pass probes every k-th sector with
+// quasi-omni reception, then a fine pass refines the Tx and Rx beams inside
+// the winning neighborhood. It trades a small SNR loss for an O(N/k + k)
+// sweep instead of O(N) or O(N^2).
+type HierarchicalSLS struct {
+	// CoarseStep is the sector stride of the first pass (default 4).
+	CoarseStep int
+}
+
+// Name implements BeamAdapter.
+func (h HierarchicalSLS) Name() string { return "hierarchical-sls" }
+
+// Adapt implements BeamAdapter.
+func (h HierarchicalSLS) Adapt(l *channel.Link) BAResult {
+	step := h.CoarseStep
+	if step <= 0 {
+		step = 4
+	}
+	probes := 0
+
+	// Coarse Tx pass with quasi-omni reception.
+	bestCoarse, bestSNR := 0, math.Inf(-1)
+	for t := 0; t < phased.NumBeams; t += step {
+		probes++
+		if s := l.SNRdB(t, phased.QuasiOmniID); s > bestSNR {
+			bestSNR, bestCoarse = s, t
+		}
+	}
+	// Fine Tx pass around the winner.
+	lo, hi := bestCoarse-step+1, bestCoarse+step-1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= phased.NumBeams {
+		hi = phased.NumBeams - 1
+	}
+	bestTx, bestSNR := bestCoarse, math.Inf(-1)
+	for t := lo; t <= hi; t++ {
+		probes++
+		if s := l.SNRdB(t, phased.QuasiOmniID); s > bestSNR {
+			bestSNR, bestTx = s, t
+		}
+	}
+	// Rx refinement around the geometric best for the chosen Tx beam.
+	bestRx, bestPair := phased.QuasiOmniID, bestSNR
+	for r := 0; r < phased.NumBeams; r += step {
+		probes++
+		if s := l.SNRdB(bestTx, r); s > bestPair {
+			bestPair, bestRx = s, r
+		}
+	}
+	if bestRx != phased.QuasiOmniID {
+		lo, hi = bestRx-step+1, bestRx+step-1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= phased.NumBeams {
+			hi = phased.NumBeams - 1
+		}
+		for r := lo; r <= hi; r++ {
+			probes++
+			if s := l.SNRdB(bestTx, r); s > bestPair {
+				bestPair, bestRx = s, r
+			}
+		}
+	}
+	return BAResult{
+		TxBeam:   bestTx,
+		RxBeam:   bestRx,
+		SNRdB:    bestPair,
+		Overhead: time.Duration(probes) * SSWFrameTime,
+		Probes:   probes,
+	}
+}
+
+// LocalSearchBA refines the current beam pair by probing only the immediate
+// neighborhood — the cheap tracking step mobile clients can afford every few
+// frames (cf. beam tracking in 802.11ay). It cannot recover from a large
+// misalignment (the paper's point about failover sectors failing under
+// angular displacement), which the tests verify.
+type LocalSearchBA struct {
+	// Radius is the neighborhood half-width in sectors (default 2).
+	Radius int
+	// StartTx, StartRx seed the search (the current beam pair).
+	StartTx, StartRx int
+}
+
+// Name implements BeamAdapter.
+func (s LocalSearchBA) Name() string { return "local-search" }
+
+// Adapt implements BeamAdapter.
+func (s LocalSearchBA) Adapt(l *channel.Link) BAResult {
+	r := s.Radius
+	if r <= 0 {
+		r = 2
+	}
+	clamp := func(b int) int {
+		if b < 0 {
+			return 0
+		}
+		if b >= phased.NumBeams {
+			return phased.NumBeams - 1
+		}
+		return b
+	}
+	bestTx, bestRx := clamp(s.StartTx), clamp(s.StartRx)
+	bestSNR := math.Inf(-1)
+	probes := 0
+	for dt := -r; dt <= r; dt++ {
+		for dr := -r; dr <= r; dr++ {
+			tb, rb := clamp(s.StartTx+dt), clamp(s.StartRx+dr)
+			probes++
+			if snr := l.SNRdB(tb, rb); snr > bestSNR {
+				bestSNR, bestTx, bestRx = snr, tb, rb
+			}
+		}
+	}
+	return BAResult{
+		TxBeam:   bestTx,
+		RxBeam:   bestRx,
+		SNRdB:    bestSNR,
+		Overhead: time.Duration(probes) * SSWFrameTime,
+		Probes:   probes,
+	}
+}

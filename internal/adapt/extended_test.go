@@ -1,0 +1,119 @@
+package adapt
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/channel"
+)
+
+func TestHierarchicalSLSNearOptimal(t *testing.T) {
+	l := testLink(6)
+	ex := ExhaustiveSLS{}.Adapt(l)
+	h := HierarchicalSLS{}.Adapt(l)
+	if h.SNRdB < ex.SNRdB-3 {
+		t.Errorf("hierarchical %v dB vs exhaustive %v dB", h.SNRdB, ex.SNRdB)
+	}
+}
+
+func TestHierarchicalSLSCheaperThanStandard(t *testing.T) {
+	l := testLink(6)
+	st := StandardSLS{}.Adapt(l)
+	h := HierarchicalSLS{}.Adapt(l)
+	if h.Probes >= st.Probes {
+		t.Errorf("hierarchical probes %d >= standard %d", h.Probes, st.Probes)
+	}
+	if h.Overhead >= st.Overhead {
+		t.Errorf("hierarchical overhead %v >= standard %v", h.Overhead, st.Overhead)
+	}
+}
+
+func TestHierarchicalSLSCustomStep(t *testing.T) {
+	l := testLink(6)
+	truth := ExhaustiveSLS{}.Adapt(l)
+	// Total probes are minimized near stride sqrt(N): both a very coarse
+	// and a very fine stride cost more than the default, and all strides
+	// stay near the optimum on a clean LOS link.
+	def := HierarchicalSLS{}.Adapt(l)
+	for _, step := range []int{2, 8} {
+		res := HierarchicalSLS{CoarseStep: step}.Adapt(l)
+		if res.Probes <= 0 || res.Probes >= 2*phasedBeams() {
+			t.Errorf("step %d probes = %d", step, res.Probes)
+		}
+		if res.Probes < def.Probes {
+			t.Errorf("step %d (%d probes) beat the default stride (%d)", step, res.Probes, def.Probes)
+		}
+		if res.SNRdB < truth.SNRdB-3 {
+			t.Errorf("step %d SNR %v far from truth %v", step, res.SNRdB, truth.SNRdB)
+		}
+	}
+}
+
+func phasedBeams() int { return 25 * 25 }
+
+func TestLocalSearchTracksSmallDrift(t *testing.T) {
+	l := testLink(8)
+	ex := ExhaustiveSLS{}.Adapt(l)
+	// Rotate a little: the optimum moves by a beam or two.
+	l.RotateRx(180 + 8)
+	truth := ExhaustiveSLS{}.Adapt(l)
+	ls := LocalSearchBA{StartTx: ex.TxBeam, StartRx: ex.RxBeam}.Adapt(l)
+	if ls.SNRdB < truth.SNRdB-1.5 {
+		t.Errorf("local search %v dB vs truth %v dB after small drift", ls.SNRdB, truth.SNRdB)
+	}
+}
+
+func TestLocalSearchFailsOnLargeDisplacement(t *testing.T) {
+	// The paper's argument against failover sectors (§8 discussion of
+	// MOCA): local tracking cannot recover from large angular displacement.
+	l := testLink(8)
+	ex := ExhaustiveSLS{}.Adapt(l)
+	l.RotateRx(180 + 70)
+	truth := ExhaustiveSLS{}.Adapt(l)
+	ls := LocalSearchBA{StartTx: ex.TxBeam, StartRx: ex.RxBeam, Radius: 2}.Adapt(l)
+	if ls.SNRdB >= truth.SNRdB-3 {
+		t.Skip("geometry let local search keep up; scenario-specific")
+	}
+	// This is the expected outcome: a full sweep is required.
+	if ls.Probes >= truth.Probes {
+		t.Error("local search probed as much as the full sweep")
+	}
+}
+
+func TestLocalSearchClampsEdges(t *testing.T) {
+	l := testLink(6)
+	ls := LocalSearchBA{StartTx: 0, StartRx: 24, Radius: 3}.Adapt(l)
+	if ls.TxBeam < 0 || ls.TxBeam > 24 || ls.RxBeam < 0 || ls.RxBeam > 24 {
+		t.Errorf("out-of-range beams (%d,%d)", ls.TxBeam, ls.RxBeam)
+	}
+}
+
+func TestLocalSearchCheap(t *testing.T) {
+	l := testLink(6)
+	ls := LocalSearchBA{Radius: 2}.Adapt(l)
+	if ls.Probes != 25 {
+		t.Errorf("probes = %d, want 25 (5x5 neighborhood)", ls.Probes)
+	}
+	st := StandardSLS{}.Adapt(l)
+	if ls.Overhead >= st.Overhead {
+		t.Error("local search should be cheaper than a standard sweep")
+	}
+}
+
+func TestExtendedNames(t *testing.T) {
+	if (HierarchicalSLS{}).Name() == "" || (LocalSearchBA{}).Name() == "" {
+		t.Error("names empty")
+	}
+}
+
+func TestHierarchicalOnNLOS(t *testing.T) {
+	// With the LOS blocked, the hierarchical search must still land on a
+	// usable reflection.
+	l := testLink(8)
+	mid := l.Tx.Pos.Add(l.Rx.Pos.Sub(l.Tx.Pos).Scale(0.5))
+	l.SetBlockers([]channel.Blocker{channel.DefaultBlocker(mid)})
+	truth := ExhaustiveSLS{}.Adapt(l)
+	h := HierarchicalSLS{}.Adapt(l)
+	if h.SNRdB < truth.SNRdB-6 {
+		t.Errorf("hierarchical NLOS %v dB vs truth %v dB", h.SNRdB, truth.SNRdB)
+	}
+}

@@ -1,0 +1,261 @@
+package channel
+
+import (
+	"math"
+
+	"github.com/libra-wlan/libra/internal/dsp"
+	"github.com/libra-wlan/libra/internal/geom"
+	"github.com/libra-wlan/libra/internal/phased"
+)
+
+// PDP parameters. With 2 GHz of bandwidth the delay resolution is 0.5 ns;
+// 256 taps cover 128 ns (~38 m of excess path), plenty for indoor rooms.
+const (
+	// PDPTaps is the number of delay bins in a logged power delay profile.
+	PDPTaps = 256
+	// PDPBinNs is the delay bin width in nanoseconds (1/bandwidth).
+	PDPBinNs = 0.5
+)
+
+// Measurement is one PHY layer observation for a given Tx/Rx beam pair —
+// the per-frame log record of the X60 testbed (§5.1).
+type Measurement struct {
+	// RSSdBm is the total received signal power.
+	RSSdBm float64
+	// NoiseDBm is the measured noise level: thermal floor plus co-channel
+	// interference as seen through the Rx beam.
+	NoiseDBm float64
+	// SNRdB is RSS - Noise, in dB.
+	SNRdB float64
+	// ToFNs is the time of flight of the strongest path in nanoseconds.
+	// It is +Inf when the signal is below the receiver sensitivity,
+	// matching X60's behaviour under extremely weak signal.
+	ToFNs float64
+	// PDP is the power delay profile: linear power (mW) per 0.5 ns bin,
+	// with the first bin anchored at the earliest arriving path.
+	PDP []float64
+}
+
+// CSI returns the paper's channel state information estimate for the
+// single-carrier PHY (§6.1): the frequency response magnitude obtained by
+// transforming the power delay profile to the frequency domain. Tap
+// amplitudes (square roots of tap powers) are transformed so the result is
+// |H(f)| — the multipath fading pattern across the 2 GHz channel — rather
+// than a power spectrum.
+func (m *Measurement) CSI() []float64 {
+	amp := make([]float64, len(m.PDP))
+	for i, p := range m.PDP {
+		if p > 0 {
+			amp[i] = math.Sqrt(p)
+		}
+	}
+	return dsp.FFTReal(amp)
+}
+
+// Measure computes the PHY observation for the given Tx and Rx beams.
+// Use phased.QuasiOmniID for quasi-omni operation on either side.
+func (l *Link) Measure(txBeam, rxBeam int) Measurement {
+	paths := l.Paths()
+	noiseMw := dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB)) + l.interferenceMw(rxBeam)
+
+	var totalMw float64
+	var bestMw float64
+	bestDelay := math.Inf(1)
+	minDelay := math.Inf(1)
+	for _, p := range paths {
+		if p.DelayNs < minDelay {
+			minDelay = p.DelayNs
+		}
+	}
+	pdp := make([]float64, PDPTaps)
+	for _, p := range paths {
+		g := l.TxPowerDBm - l.ImplLossDB +
+			l.Tx.GainDBi(txBeam, p.Depart) +
+			l.Rx.GainDBi(rxBeam, p.Arrive) -
+			p.LossDB
+		mw := dsp.Lin(g)
+		totalMw += mw
+		if mw > bestMw {
+			bestMw = mw
+			bestDelay = p.DelayNs
+		}
+		bin := int((p.DelayNs - minDelay) / PDPBinNs)
+		if bin >= 0 && bin < PDPTaps {
+			pdp[bin] += mw
+		}
+	}
+
+	rss := dsp.DB(totalMw)
+	noise := dsp.DB(noiseMw)
+	m := Measurement{
+		RSSdBm:   rss,
+		NoiseDBm: noise,
+		SNRdB:    rss - noise,
+		ToFNs:    bestDelay,
+		PDP:      pdp,
+	}
+	if rss < SensitivityDBm || math.IsInf(rss, -1) {
+		m.ToFNs = math.Inf(1)
+	}
+	return m
+}
+
+// interferenceMw returns the co-channel interference power (mW, time
+// averaged over duty cycle) received through the given Rx beam. The hidden
+// terminal's signal propagates through the same environment as the victim
+// link — direct ray plus wall reflections — so re-beaming toward a reflector
+// picks up the interferer's reflection off that same wall. This is what
+// makes interference hard to escape via beam adaptation (§6.1.3) and RA the
+// usually preferred mechanism under interference.
+func (l *Link) interferenceMw(rxBeam int) float64 {
+	if len(l.Interferers) == 0 {
+		return 0
+	}
+	l.ensureInterferencePaths()
+	var total float64
+	for i, it := range l.Interferers {
+		for _, p := range l.intfPaths[i] {
+			g := it.EIRPdBm + l.Rx.GainDBi(rxBeam, p.Arrive) - p.LossDB
+			total += dsp.Lin(g) * it.DutyCycle
+		}
+	}
+	return total
+}
+
+// ensureInterferencePaths traces interferer-to-Rx paths, caching per epoch.
+func (l *Link) ensureInterferencePaths() {
+	if l.intfPathsOK && l.intfEpoch == l.pathEpoch {
+		return
+	}
+	l.intfPaths = make([][]Path, len(l.Interferers))
+	for i, it := range l.Interferers {
+		paths := l.traceBetween(it.Pos, l.Rx.Pos, l.MaxBounces)
+		if len(paths) == 0 {
+			// Fully occluded: model residual through-wall leakage as a
+			// single heavily attenuated direct ray.
+			d := it.Pos.Dist(l.Rx.Pos)
+			paths = []Path{{
+				Dist:    d,
+				DelayNs: d / SpeedOfLight * 1e9,
+				LossDB:  FSPLdB(d) + 30,
+				Depart:  l.Rx.Pos.Sub(it.Pos).Norm(),
+				Arrive:  it.Pos.Sub(l.Rx.Pos).Norm(),
+			}}
+		}
+		l.intfPaths[i] = paths
+	}
+	l.intfPathsOK = true
+	l.intfEpoch = l.pathEpoch
+}
+
+// SNRdB is a convenience wrapper returning only the SNR for a beam pair.
+func (l *Link) SNRdB(txBeam, rxBeam int) float64 {
+	return l.Measure(txBeam, rxBeam).SNRdB
+}
+
+// Sweep measures the SNR of every Tx x Rx beam pair — the naive O(N^2)
+// exhaustive sector level sweep used to establish ground truth (§5.1: "we
+// first performed a SLS to collect SNR measurements for all 625 (25x25) beam
+// pairs"). The result is indexed [txBeam][rxBeam].
+//
+// Per-path antenna gains are precomputed per beam, so the sweep costs
+// O(N*paths) gain evaluations plus O(N^2*paths) multiply-adds instead of
+// O(N^2*paths) gain evaluations.
+func (l *Link) Sweep() [][]float64 {
+	paths := l.Paths()
+	n := phased.NumBeams
+	np := len(paths)
+
+	// linBase[p] = linear(TxPower - loss) for each path.
+	linBase := make([]float64, np)
+	for p, pa := range paths {
+		linBase[p] = dsp.Lin(l.TxPowerDBm - l.ImplLossDB - pa.LossDB)
+	}
+	// txLin[t][p], rxLin[r][p]: linear antenna gains per beam per path.
+	txLin := make([][]float64, n)
+	rxLin := make([][]float64, n)
+	for b := 0; b < n; b++ {
+		txLin[b] = make([]float64, np)
+		rxLin[b] = make([]float64, np)
+		for p, pa := range paths {
+			txLin[b][p] = dsp.Lin(l.Tx.GainDBi(b, pa.Depart))
+			rxLin[b][p] = dsp.Lin(l.Rx.GainDBi(b, pa.Arrive))
+		}
+	}
+	// Noise depends on the Rx beam (interference is directional).
+	thermalMw := dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB))
+	noiseMw := make([]float64, n)
+	for r := 0; r < n; r++ {
+		noiseMw[r] = thermalMw + l.interferenceMw(r)
+	}
+
+	out := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		out[t] = make([]float64, n)
+		for r := 0; r < n; r++ {
+			var mw float64
+			for p := 0; p < np; p++ {
+				mw += linBase[p] * txLin[t][p] * rxLin[r][p]
+			}
+			out[t][r] = dsp.DB(mw) - dsp.DB(noiseMw[r])
+		}
+	}
+	return out
+}
+
+// BestPair returns the beam pair with the highest SNR from a full sweep,
+// along with that SNR.
+func (l *Link) BestPair() (txBeam, rxBeam int, snrDB float64) {
+	sweep := l.Sweep()
+	snrDB = math.Inf(-1)
+	for t := range sweep {
+		for r := range sweep[t] {
+			if s := sweep[t][r]; s > snrDB {
+				snrDB, txBeam, rxBeam = s, t, r
+			}
+		}
+	}
+	return txBeam, rxBeam, snrDB
+}
+
+// BestTxQuasiOmni returns the best Tx beam when the Rx listens in quasi-omni
+// mode — the reduced-overhead training COTS devices use (§2: "COTS devices
+// only perform Tx beam training and always receive in quasi-omni mode").
+func (l *Link) BestTxQuasiOmni() (txBeam int, snrDB float64) {
+	snrDB = math.Inf(-1)
+	for t := 0; t < phased.NumBeams; t++ {
+		if s := l.SNRdB(t, phased.QuasiOmniID); s > snrDB {
+			snrDB, txBeam = s, t
+		}
+	}
+	return txBeam, snrDB
+}
+
+// MoveRx teleports the Rx to p and invalidates the path cache.
+func (l *Link) MoveRx(p geom.Vec) {
+	l.Rx.Pos = p
+	l.Invalidate()
+}
+
+// RotateRx sets the Rx mechanical orientation (degrees) and invalidates the
+// path cache. Rotation changes beam-to-world mapping only, but blockage and
+// measurement caches keyed on the epoch must still observe the change.
+func (l *Link) RotateRx(orientDeg float64) {
+	l.Rx.OrientDeg = orientDeg
+	l.Invalidate()
+}
+
+// SetBlockers replaces the blocker set and invalidates the path cache.
+func (l *Link) SetBlockers(b []Blocker) {
+	l.Blockers = b
+	l.Invalidate()
+}
+
+// SetInterferers replaces the interferer set. Interference does not affect
+// ray geometry, so the path cache stays valid, but the epoch advances so
+// higher layers re-measure.
+func (l *Link) SetInterferers(in []Interferer) {
+	l.Interferers = in
+	l.intfPathsOK = false
+	l.pathEpoch++
+}

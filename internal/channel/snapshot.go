@@ -1,0 +1,158 @@
+package channel
+
+import (
+	"math"
+
+	"github.com/libra-wlan/libra/internal/dsp"
+	"github.com/libra-wlan/libra/internal/phased"
+)
+
+// Snapshot freezes the channel between Tx and Rx at one geometric state: the
+// traced paths with per-beam antenna gains precomputed. A snapshot can
+// evaluate any beam pair in O(paths) multiply-adds without re-tracing,
+// which is what the trace-driven evaluation (§8) needs — the paper logs
+// full SLS sweeps plus per-beam-pair PHY traces at every state; a Snapshot
+// is the in-memory equivalent of that log.
+type Snapshot struct {
+	paths []Path
+	// txLin[b][p] and rxLin[b][p] are the linear antenna gains of beam b
+	// toward path p; index NumBeams holds the quasi-omni pattern.
+	txLin, rxLin [][]float64
+	// linBase[p] is linear(TxPower - pathLoss) of path p.
+	linBase []float64
+	// noiseMw[r] is noise+interference power per Rx beam; index NumBeams
+	// is quasi-omni.
+	noiseMw []float64
+	// minDelayNs anchors the PDP at the earliest path.
+	minDelayNs float64
+}
+
+// beamIndex maps a beam ID (including QuasiOmniID) to the gain-table row.
+func beamIndex(b int) int {
+	if b == phased.QuasiOmniID {
+		return phased.NumBeams
+	}
+	return b
+}
+
+// Snapshot captures the link's current geometric state.
+func (l *Link) Snapshot() *Snapshot {
+	paths := l.Paths()
+	np := len(paths)
+	nb := phased.NumBeams + 1 // +1 for quasi-omni
+
+	s := &Snapshot{
+		paths:      append([]Path(nil), paths...),
+		txLin:      make([][]float64, nb),
+		rxLin:      make([][]float64, nb),
+		linBase:    make([]float64, np),
+		noiseMw:    make([]float64, nb),
+		minDelayNs: math.Inf(1),
+	}
+	for p, pa := range paths {
+		s.linBase[p] = dsp.Lin(l.TxPowerDBm - l.ImplLossDB - pa.LossDB)
+		if pa.DelayNs < s.minDelayNs {
+			s.minDelayNs = pa.DelayNs
+		}
+	}
+	for bi := 0; bi < nb; bi++ {
+		id := bi
+		if bi == phased.NumBeams {
+			id = phased.QuasiOmniID
+		}
+		s.txLin[bi] = make([]float64, np)
+		s.rxLin[bi] = make([]float64, np)
+		for p, pa := range paths {
+			s.txLin[bi][p] = dsp.Lin(l.Tx.GainDBi(id, pa.Depart))
+			s.rxLin[bi][p] = dsp.Lin(l.Rx.GainDBi(id, pa.Arrive))
+		}
+	}
+	thermalMw := dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB))
+	for bi := 0; bi < nb; bi++ {
+		id := bi
+		if bi == phased.NumBeams {
+			id = phased.QuasiOmniID
+		}
+		s.noiseMw[bi] = thermalMw + l.interferenceMw(id)
+	}
+	return s
+}
+
+// NumPaths returns the number of traced propagation paths.
+func (s *Snapshot) NumPaths() int { return len(s.paths) }
+
+// Measure evaluates the PHY observation for a beam pair from the frozen
+// state, identically to Link.Measure (minus stochastic measurement noise,
+// which the MAC layer adds).
+func (s *Snapshot) Measure(txBeam, rxBeam int) Measurement {
+	ti, ri := beamIndex(txBeam), beamIndex(rxBeam)
+	var totalMw, bestMw float64
+	bestDelay := math.Inf(1)
+	pdp := make([]float64, PDPTaps)
+	for p, pa := range s.paths {
+		mw := s.linBase[p] * s.txLin[ti][p] * s.rxLin[ri][p]
+		totalMw += mw
+		if mw > bestMw {
+			bestMw = mw
+			bestDelay = pa.DelayNs
+		}
+		bin := int((pa.DelayNs - s.minDelayNs) / PDPBinNs)
+		if bin >= 0 && bin < PDPTaps {
+			pdp[bin] += mw
+		}
+	}
+	rss := dsp.DB(totalMw)
+	noise := dsp.DB(s.noiseMw[ri])
+	m := Measurement{
+		RSSdBm:   rss,
+		NoiseDBm: noise,
+		SNRdB:    rss - noise,
+		ToFNs:    bestDelay,
+		PDP:      pdp,
+	}
+	if rss < SensitivityDBm || math.IsInf(rss, -1) {
+		m.ToFNs = math.Inf(1)
+	}
+	return m
+}
+
+// SNRdB returns the SNR of a beam pair.
+func (s *Snapshot) SNRdB(txBeam, rxBeam int) float64 {
+	ti, ri := beamIndex(txBeam), beamIndex(rxBeam)
+	var mw float64
+	for p := range s.paths {
+		mw += s.linBase[p] * s.txLin[ti][p] * s.rxLin[ri][p]
+	}
+	return dsp.DB(mw) - dsp.DB(s.noiseMw[ri])
+}
+
+// Sweep returns the full 25x25 SNR matrix.
+func (s *Snapshot) Sweep() [][]float64 {
+	n := phased.NumBeams
+	out := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		out[t] = make([]float64, n)
+		for r := 0; r < n; r++ {
+			var mw float64
+			for p := range s.paths {
+				mw += s.linBase[p] * s.txLin[t][p] * s.rxLin[r][p]
+			}
+			out[t][r] = dsp.DB(mw) - dsp.DB(s.noiseMw[r])
+		}
+	}
+	return out
+}
+
+// BestPair returns the beam pair maximizing SNR.
+func (s *Snapshot) BestPair() (txBeam, rxBeam int, snrDB float64) {
+	snrDB = math.Inf(-1)
+	sweep := s.Sweep()
+	for t := range sweep {
+		for r := range sweep[t] {
+			if v := sweep[t][r]; v > snrDB {
+				snrDB, txBeam, rxBeam = v, t, r
+			}
+		}
+	}
+	return txBeam, rxBeam, snrDB
+}

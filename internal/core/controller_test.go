@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/env"
+	"github.com/libra-wlan/libra/internal/geom"
+	"github.com/libra-wlan/libra/internal/mac"
+	"github.com/libra-wlan/libra/internal/phased"
+	"github.com/libra-wlan/libra/internal/phy"
+	"github.com/libra-wlan/libra/internal/predict"
+)
+
+func testController(t *testing.T, d float64, seed int64) (*Controller, *channel.Link) {
+	t.Helper()
+	e := env.MediumCorridor()
+	tx := phased.NewArray(geom.V(0.5, 1.6), 0, seed)
+	rx := phased.NewArray(geom.V(0.5+d, 1.6), 180, seed+1)
+	l := channel.NewLink(e, tx, rx)
+	st := mac.NewStation(l, rand.New(rand.NewSource(seed+2)))
+	// The rule classifier keeps controller tests independent of training.
+	c := NewController(st, RuleClassifier{}, DefaultConfig())
+	return c, l
+}
+
+func TestBootstrap(t *testing.T) {
+	c, l := testController(t, 6, 1)
+	c.Bootstrap()
+	if c.Station.TxBeam < 0 || c.Station.RxBeam < 0 {
+		t.Error("bootstrap did not select beams")
+	}
+	snr := l.SNRdB(c.Station.TxBeam, c.Station.RxBeam)
+	if phy.CDR(c.Station.MCS, snr) < 0.2 {
+		t.Errorf("bootstrap MCS %v unsupportable at %v dB", c.Station.MCS, snr)
+	}
+}
+
+func TestStableLinkThroughput(t *testing.T) {
+	c, l := testController(t, 6, 2)
+	c.Bootstrap()
+	bits := c.Run(200)
+	th := bits / (200 * phy.FrameDuration)
+	_, _, snr := l.BestPair()
+	_, wantTh := phy.BestMCS(snr)
+	if th < 0.6*wantTh {
+		t.Errorf("stable-link throughput %v, channel supports %v", th/1e6, wantTh/1e6)
+	}
+	// A stable link must not trigger repairs constantly.
+	if c.BARuns > 3 {
+		t.Errorf("BA ran %d times on a stable link", c.BARuns)
+	}
+}
+
+func TestControllerRecoversFromRotation(t *testing.T) {
+	c, l := testController(t, 8, 3)
+	c.Bootstrap()
+	c.Run(20)
+	before := l.SNRdB(c.Station.TxBeam, c.Station.RxBeam)
+	l.RotateRx(180 + 50) // break alignment
+	c.Run(100)
+	after := l.SNRdB(c.Station.TxBeam, c.Station.RxBeam)
+	if after < before-25 {
+		t.Errorf("controller did not re-beam: SNR %v -> %v", before, after)
+	}
+	if c.BARuns == 0 {
+		t.Error("no BA run after a hard rotation")
+	}
+	if len(c.RecoveryDelays) == 0 {
+		t.Error("no recovery delay recorded")
+	}
+	// The link must deliver again after recovery.
+	bits := c.Run(50)
+	if bits <= 0 {
+		t.Error("nothing delivered after recovery")
+	}
+}
+
+func TestControllerRecoversFromBlockage(t *testing.T) {
+	c, l := testController(t, 8, 4)
+	c.Bootstrap()
+	c.Run(10)
+	mid := l.Tx.Pos.Add(l.Rx.Pos.Sub(l.Tx.Pos).Scale(0.5))
+	l.SetBlockers([]channel.Blocker{channel.DefaultBlocker(mid)})
+	c.Run(150)
+	rec := c.Station.SendFrame()
+	if !rec.ACKed {
+		t.Skip("blocked corridor unrecoverable in this geometry")
+	}
+	if rec.ThroughputBps() < phy.WorkingMinThroughputBps/2 {
+		t.Errorf("post-blockage throughput %v Mbps", rec.ThroughputBps()/1e6)
+	}
+}
+
+func TestDecisionsCounted(t *testing.T) {
+	c, _ := testController(t, 6, 5)
+	c.Bootstrap()
+	c.Run(100)
+	total := 0
+	for _, n := range c.Decisions {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no classifier decisions recorded")
+	}
+	// A stable link should be overwhelmingly NA.
+	if c.Decisions[dataset.ActNA] < total/2 {
+		t.Errorf("NA decisions = %d of %d on a stable link", c.Decisions[dataset.ActNA], total)
+	}
+}
+
+func TestMeanRecoveryDelayEmpty(t *testing.T) {
+	c, _ := testController(t, 6, 6)
+	if c.MeanRecoveryDelay() != 0 {
+		t.Error("empty mean recovery delay should be 0")
+	}
+}
+
+func TestWindowAverage(t *testing.T) {
+	recs := []mac.FrameRecord{
+		{SNRdB: 10, NoiseDBm: -70, ToFNs: 5, PDP: []float64{1}},
+		{SNRdB: 14, NoiseDBm: -74, ToFNs: 7, PDP: []float64{2}},
+	}
+	m := windowAverage(recs)
+	if m.SNRdB != 12 || m.NoiseDBm != -72 {
+		t.Errorf("averages = %v / %v", m.SNRdB, m.NoiseDBm)
+	}
+	if m.ToFNs != 7 || m.PDP[0] != 2 {
+		t.Error("last-sample fields wrong")
+	}
+	empty := windowAverage(nil)
+	if empty.SNRdB != 0 {
+		t.Error("empty window")
+	}
+	zeroToF := windowAverage([]mac.FrameRecord{{ToFNs: 0, PDP: []float64{1}}})
+	if !math.IsInf(zeroToF.ToFNs, 1) {
+		t.Error("zero ToF should map to +Inf")
+	}
+}
+
+func TestProbingRaisesMCSWhenChannelImproves(t *testing.T) {
+	c, l := testController(t, 14, 7)
+	c.Bootstrap()
+	c.Run(50)
+	low := c.Station.MCS
+	// The client walks closer: much better channel.
+	l.MoveRx(geom.V(4, 1.6))
+	c.Run(600)
+	if c.Station.MCS <= low {
+		t.Errorf("MCS did not climb after improvement: %v -> %v", low, c.Station.MCS)
+	}
+}
+
+func TestControllerMissingACKRule(t *testing.T) {
+	// Kill the channel entirely: the controller must hit the missing-ACK
+	// path and attempt repairs without panicking or spinning.
+	c, l := testController(t, 6, 8)
+	c.Bootstrap()
+	c.Run(10)
+	l.ImplLossDB = 90
+	l.Invalidate()
+	c.Run(60)
+	if c.BARuns == 0 && c.RARuns == 0 {
+		t.Error("no repair attempts on a dead link")
+	}
+	if len(c.RecoveryDelays) == 0 {
+		t.Error("no recovery delays recorded")
+	}
+}
+
+func TestControllerProbeBackoffUnderFailedProbes(t *testing.T) {
+	// A link pinned at a low MCS: up-probes fail, and the controller must
+	// back off rather than probe every interval.
+	c, _ := testController(t, 16, 9) // long link: mid-table MCS
+	c.Bootstrap()
+	firstMCS := c.Station.MCS
+	c.Run(800)
+	// The MCS must not run away upward on a static long link.
+	if c.Station.MCS > firstMCS+2 {
+		t.Errorf("MCS climbed from %v to %v on a static weak link", firstMCS, c.Station.MCS)
+	}
+}
+
+func TestControllerPredictorOverridesMissingACKRule(t *testing.T) {
+	// Feed the predictor a constant BA pattern, then blind the controller
+	// (dead channel, missing ACKs): the first repair must be BA even in a
+	// configuration where the coarse rule would choose RA.
+	c, l := testController(t, 6, 10)
+	c.Cfg.BAOverhead = 250 * time.Millisecond // rule would say RA at MCS>=6
+	c.Cfg.BAOverheadThreshold = 10 * time.Millisecond
+	c.Predictor = predict.NewMarkovPredictor(1)
+	for i := 0; i < 6; i++ {
+		c.Predictor.Observe(dataset.ActBA)
+	}
+	c.Bootstrap()
+	if c.Station.MCS < c.Cfg.MissingACKMCS {
+		t.Skip("bootstrap MCS below the rule threshold; rule would pick BA anyway")
+	}
+	c.Run(4)
+	baBefore := c.BARuns
+	l.ImplLossDB = 90
+	l.Invalidate()
+	c.Run(6)
+	if c.BARuns <= baBefore {
+		t.Error("predictor did not steer the blind repair to BA")
+	}
+}

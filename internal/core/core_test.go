@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/ml"
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Alpha != 0.7 || cfg.MissingACKMCS != 6 || cfg.ProbeInterval != 5 {
+		t.Errorf("defaults changed: %+v", cfg)
+	}
+}
+
+func TestAlphaFor(t *testing.T) {
+	// §8.1: α = 0.7 for low BA overheads (0.5, 5 ms), 0.5 for high
+	// (150, 250 ms).
+	if AlphaFor(500*time.Microsecond) != 0.7 || AlphaFor(5*time.Millisecond) != 0.7 {
+		t.Error("low-overhead alpha")
+	}
+	if AlphaFor(150*time.Millisecond) != 0.5 || AlphaFor(250*time.Millisecond) != 0.5 {
+		t.Error("high-overhead alpha")
+	}
+}
+
+func TestDmax(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FAT = 2 * time.Millisecond
+	cfg.BAOverhead = 5 * time.Millisecond
+	// Dmax = 2*N_MCS*d_fr + d_BA = 2*9*2 + 5 = 41 ms (§5.2).
+	if got := Dmax(cfg); got != 41*time.Millisecond {
+		t.Errorf("Dmax = %v", got)
+	}
+}
+
+func TestUtilityBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	// Best case: max throughput, zero delay.
+	if got := Utility(phy.MaxRateBps(), 0, cfg); math.Abs(got-1) > 1e-12 {
+		t.Errorf("best utility = %v", got)
+	}
+	// Worst case: zero throughput, Dmax delay.
+	if got := Utility(0, Dmax(cfg), cfg); math.Abs(got) > 1e-12 {
+		t.Errorf("worst utility = %v", got)
+	}
+	// Delay beyond Dmax is clamped, not negative.
+	if got := Utility(0, 10*Dmax(cfg), cfg); got < 0 {
+		t.Errorf("clamped utility = %v", got)
+	}
+}
+
+func TestUtilityMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	if Utility(2e9, 5*time.Millisecond, cfg) <= Utility(1e9, 5*time.Millisecond, cfg) {
+		t.Error("utility not increasing in throughput")
+	}
+	if Utility(1e9, 5*time.Millisecond, cfg) <= Utility(1e9, 20*time.Millisecond, cfg) {
+		t.Error("utility not decreasing in delay")
+	}
+}
+
+func TestUtilityAlphaWeighting(t *testing.T) {
+	// With α=1 only throughput matters.
+	cfg := DefaultConfig()
+	cfg.Alpha = 1
+	if Utility(1e9, 0, cfg) != Utility(1e9, Dmax(cfg), cfg) {
+		t.Error("α=1 should ignore delay")
+	}
+	cfg.Alpha = 0
+	if Utility(1e9, time.Millisecond, cfg) != Utility(0, time.Millisecond, cfg) {
+		t.Error("α=0 should ignore throughput")
+	}
+}
+
+func TestMissingACKAction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BAOverheadThreshold = 10 * time.Millisecond
+
+	// Low MCS: always BA (92% correct per §7).
+	cfg.BAOverhead = 250 * time.Millisecond
+	if MissingACKAction(3, cfg) != dataset.ActBA {
+		t.Error("low MCS should trigger BA")
+	}
+	// High MCS with large BA overhead: RA first.
+	if MissingACKAction(6, cfg) != dataset.ActRA {
+		t.Error("high MCS + costly BA should trigger RA")
+	}
+	// High MCS with cheap BA: BA first.
+	cfg.BAOverhead = 500 * time.Microsecond
+	if MissingACKAction(6, cfg) != dataset.ActBA {
+		t.Error("high MCS + cheap BA should trigger BA")
+	}
+}
+
+func TestCDRORI(t *testing.T) {
+	// Probing m+1 pays off when CDR > rate(m)/rate(m+1).
+	for m := phy.MinMCS; m < phy.MaxMCS; m++ {
+		want := m.RateBps() / (m + 1).RateBps()
+		if got := CDRORI(m); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDRORI(%v) = %v, want %v", m, got, want)
+		}
+		if CDRORI(m) >= 1 {
+			t.Errorf("CDRORI(%v) >= 1 would never trigger", m)
+		}
+	}
+	// The top MCS can never be probed beyond.
+	if CDRORI(phy.MaxMCS) <= 1 {
+		t.Error("top MCS threshold should be unreachable")
+	}
+}
+
+func TestProbeBackoff(t *testing.T) {
+	// T = T0 * min(2^k, 25) (§7).
+	cases := []struct{ t0, k, want int }{
+		{5, 0, 5},
+		{5, 1, 10},
+		{5, 2, 20},
+		{5, 3, 40},
+		{5, 4, 80},
+		{5, 5, 125}, // 2^5 = 32 capped at 25
+		{5, 10, 125},
+	}
+	for _, c := range cases {
+		if got := ProbeBackoff(c.t0, c.k); got != c.want {
+			t.Errorf("ProbeBackoff(%d, %d) = %d, want %d", c.t0, c.k, got, c.want)
+		}
+	}
+}
+
+func TestRuleClassifier(t *testing.T) {
+	var c RuleClassifier
+	// Unchanged link: NA.
+	f := []float64{0.3, 0, 0, 1, 1, 0.95, 6}
+	if got := c.Classify(f); got != dataset.ActNA {
+		t.Errorf("stable link = %v", got)
+	}
+	// Large SNR drop: BA (the 7 dB displacement threshold of §6.1.1).
+	f = []float64{12, 0, 0, 0.8, 0.5, 0, 5}
+	if got := c.Classify(f); got != dataset.ActBA {
+		t.Errorf("big drop = %v", got)
+	}
+	// Unmeasurable ToF: BA.
+	f = []float64{5, dataset.ToFInfCode, 0, 0, 0, 0, 5}
+	if got := c.Classify(f); got != dataset.ActBA {
+		t.Errorf("inf ToF = %v", got)
+	}
+	// Backward motion: RA.
+	f = []float64{4, -10, 0, 0.9, 0.6, 0.1, 6}
+	if got := c.Classify(f); got != dataset.ActRA {
+		t.Errorf("backward = %v", got)
+	}
+	if c.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestTrainDefaultClassifier(t *testing.T) {
+	camp := dataset.GenerateTest(5) // smaller than main; fine for training
+	clf, err := TrainDefaultClassifier(camp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.Name() == "" {
+		t.Error("classifier name empty")
+	}
+	// Training accuracy must be far above chance on its own data.
+	correct, total := 0, 0
+	for _, e := range camp.Entries {
+		total++
+		if clf.Classify(e.FeatureSlice()) == e.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("training accuracy = %v", acc)
+	}
+}
+
+func TestClassifierSaveLoad(t *testing.T) {
+	camp := dataset.GenerateTest(6)
+	clf, err := TrainDefaultClassifier(camp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveClassifier(clf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range camp.Entries[:100] {
+		if clf.Classify(e.FeatureSlice()) != loaded.Classify(e.FeatureSlice()) {
+			t.Fatal("loaded classifier diverged")
+		}
+	}
+}
+
+func TestSaveNonForest(t *testing.T) {
+	var buf bytes.Buffer
+	c := &MLClassifier{Model: &ml.DecisionTree{}}
+	if err := SaveClassifier(c, &buf); err == nil {
+		t.Error("non-forest model serialized")
+	}
+}

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/core"
+)
+
+func ExampleUtility() {
+	// The paper's utility (Eqn. 1) with the default α = 0.7: a 2.85 Gbps
+	// recovery (MCS 5) after 7 ms of the 41 ms worst-case delay.
+	cfg := core.DefaultConfig()
+	cfg.FAT = 2 * time.Millisecond
+	u := core.Utility(2850e6, 7*time.Millisecond, cfg)
+	fmt.Printf("U = %.2f\n", u)
+	// Output: U = 0.67
+}
+
+func ExampleMissingACKAction() {
+	cfg := core.DefaultConfig()
+	cfg.BAOverhead = 250 * time.Millisecond
+	cfg.BAOverheadThreshold = 10 * time.Millisecond
+	// Low MCS: the link was already fragile; re-beam first.
+	fmt.Println(core.MissingACKAction(3, cfg))
+	// High MCS with an expensive sweep: try rates first.
+	fmt.Println(core.MissingACKAction(7, cfg))
+	// Output:
+	// BA
+	// RA
+}
+
+func ExampleProbeBackoff() {
+	// T = T0 * min(2^k, 25): the up-probe interval after k failed probes.
+	for _, k := range []int{0, 2, 6} {
+		fmt.Println(core.ProbeBackoff(5, k))
+	}
+	// Output:
+	// 5
+	// 20
+	// 125
+}
+
+func ExampleRuleClassifier() {
+	var clf core.RuleClassifier
+	// SNR dropped 12 dB with the ToF unchanged: re-beam.
+	f := []float64{12, 0, 0, 0.8, 0.5, 0, 5}
+	fmt.Println(clf.Classify(f))
+	// Output: BA
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	_, orig := campaigns(t)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Len() != orig.Len() || len(got.Sites) != len(orig.Sites) {
+		t.Fatalf("shape changed: %s/%d/%d vs %s/%d/%d",
+			got.Name, got.Len(), len(got.Sites), orig.Name, orig.Len(), len(orig.Sites))
+	}
+	for i := range orig.Entries {
+		a, b := orig.Entries[i], got.Entries[i]
+		if a.Features != b.Features || a.Label != b.Label || a.InitMCS != b.InitMCS ||
+			a.Env != b.Env || a.Impairment != b.Impairment || a.PosID != b.PosID {
+			t.Fatalf("entry %d changed in round trip", i)
+		}
+		if a.InitBeamTh != b.InitBeamTh || a.BestBeamTh != b.BestBeamTh {
+			t.Fatalf("entry %d throughput tables changed", i)
+		}
+	}
+	// The summary machinery works identically on the deserialized copy.
+	ba1, ra1, na1 := orig.CountLabels(-1)
+	ba2, ra2, na2 := got.CountLabels(-1)
+	if ba1 != ba2 || ra1 != ra2 || na1 != na2 {
+		t.Error("label counts changed")
+	}
+	if orig.SiteCount(-1, "") != got.SiteCount(-1, "") {
+		t.Error("site counts changed")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadJSONRejectsWrongVersion(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"version":99,"name":"x"}`)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestReadJSONValidatesEntries(t *testing.T) {
+	bad := `{"version":1,"name":"x","entries":[{"InitMCS":42,"Label":0}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid MCS accepted")
+	}
+	badLabel := `{"version":1,"name":"x","entries":[{"InitMCS":3,"Label":9}]}`
+	if _, err := ReadJSON(strings.NewReader(badLabel)); err == nil {
+		t.Error("invalid label accepted")
+	}
+}
+
+func TestCheckNilEntry(t *testing.T) {
+	c := &Campaign{Dataset: Dataset{Entries: []*Entry{nil}}}
+	if err := c.Check(); err == nil {
+		t.Error("nil entry accepted")
+	}
+}

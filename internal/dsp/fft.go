@@ -1,0 +1,97 @@
+// Package dsp provides the signal-processing and statistics primitives used
+// throughout the simulator: a radix-2 FFT (to convert power delay profiles to
+// frequency-domain CSI estimates, as in §6.1 of the paper), Pearson
+// correlation (the PDP/CSI similarity metric), and descriptive statistics for
+// building the CDFs and boxplots in the evaluation figures.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo is returned by FFT when the input length is not a power of
+// two.
+var ErrNotPowerOfTwo = errors.New("dsp: FFT length must be a power of two")
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier transform
+// of x. len(x) must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return ErrNotPowerOfTwo
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT of x in place. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+// FFTReal zero-pads x to the next power of two, runs an FFT, and returns the
+// magnitude spectrum. It is the transform used to estimate CSI from a power
+// delay profile.
+func FFTReal(x []float64) []float64 {
+	n := NextPow2(len(x))
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	// Length is a power of two by construction; error is impossible.
+	_ = FFT(buf)
+	out := make([]float64, n)
+	for i, c := range buf {
+		out[i] = cmplx.Abs(c)
+	}
+	return out
+}

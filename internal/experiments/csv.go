@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is any experiment output: renderable as aligned text and
+// exportable as CSV for external plotting.
+type Result interface {
+	String() string
+	CSV() string
+}
+
+// csvEscape quotes a cell when needed.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func csvRow(cells ...string) string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = csvEscape(c)
+	}
+	return strings.Join(out, ",")
+}
+
+// CSV exports the table: a header row followed by data rows.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvRow(t.Header...))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvRow(r...))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV exports the figure as long-format points: panel, series, x, y.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("panel,series,x,y\n")
+	for _, p := range f.Panels {
+		for _, s := range p.Series {
+			for i := range s.X {
+				b.WriteString(csvRow(p.Title, s.Label,
+					fmt.Sprintf("%g", s.X[i]), fmt.Sprintf("%g", s.Y[i])))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// CSV exports the boxplot figure as five-number summaries per group.
+func (f *BoxFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("panel,group,min,q1,median,q3,max,mean,n\n")
+	for _, p := range f.Panels {
+		for _, g := range p.Groups {
+			s := g.Stats
+			b.WriteString(csvRow(p.Title, g.Label,
+				fmt.Sprintf("%g", s.Min), fmt.Sprintf("%g", s.Q1),
+				fmt.Sprintf("%g", s.Median), fmt.Sprintf("%g", s.Q3),
+				fmt.Sprintf("%g", s.Max), fmt.Sprintf("%g", s.Mean),
+				fmt.Sprint(s.N)))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// CSV exports a motivation result as one summary row plus the sector
+// timelines in long format.
+func (m *MotivationResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("metric,value\n")
+	b.WriteString(csvRow("phone_ba_triggers", fmt.Sprint(m.Phone.BATriggers)) + "\n")
+	b.WriteString(csvRow("phone_sectors", fmt.Sprint(len(m.Phone.SectorsUsed))) + "\n")
+	b.WriteString(csvRow("ap_ba_triggers", fmt.Sprint(m.AP.BATriggers)) + "\n")
+	b.WriteString(csvRow("ap_sectors", fmt.Sprint(len(m.AP.SectorsUsed))) + "\n")
+	b.WriteString(csvRow("throughput_with_ba_mbps", fmt.Sprintf("%.1f", m.WithBA/1e6)) + "\n")
+	b.WriteString(csvRow("throughput_locked_mbps", fmt.Sprintf("%.1f", m.Locked/1e6)) + "\n")
+	b.WriteString("device,at_ms,sector\n")
+	for _, s := range m.Phone.SectorTimeline {
+		b.WriteString(csvRow("phone", fmt.Sprintf("%.0f", float64(s.At.Milliseconds())), fmt.Sprint(s.Sector)) + "\n")
+	}
+	for _, s := range m.AP.SectorTimeline {
+		b.WriteString(csvRow("ap", fmt.Sprintf("%.0f", float64(s.At.Milliseconds())), fmt.Sprint(s.Sector)) + "\n")
+	}
+	return b.String()
+}

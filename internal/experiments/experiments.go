@@ -1,0 +1,197 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the §3 COTS motivation experiments (Figs 1-3), the dataset
+// summaries (Tables 1-2), the PHY metric CDFs (Figs 4-9), the ML accuracy
+// study and Gini importances (§6.2, Table 3), the single- and
+// multi-impairment policy comparisons (Figs 10-13), and the VR case study
+// (Table 4). Each experiment returns a structured result that renders to
+// aligned text matching the paper's rows and series.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/libra-wlan/libra/internal/core"
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/dsp"
+	"github.com/libra-wlan/libra/internal/trace"
+)
+
+// Suite shares the expensive inputs (generated campaigns, trained models,
+// timeline pools) across experiments.
+type Suite struct {
+	// Seed drives every random process in the suite.
+	Seed int64
+
+	mainOnce  sync.Once
+	mainCamp  *dataset.Campaign
+	testOnce  sync.Once
+	testCamp  *dataset.Campaign
+	clfOnce   sync.Once
+	clf       *core.MLClassifier
+	clfErr    error
+	poolsOnce sync.Once
+	pools     *trace.Pools
+}
+
+// NewSuite creates a suite with the given seed.
+func NewSuite(seed int64) *Suite { return &Suite{Seed: seed} }
+
+// Main returns the main/training campaign (Table 1), generating it once.
+func (s *Suite) Main() *dataset.Campaign {
+	s.mainOnce.Do(func() { s.mainCamp = dataset.GenerateMain(s.Seed) })
+	return s.mainCamp
+}
+
+// Test returns the testing campaign (Table 2), generating it once.
+func (s *Suite) Test() *dataset.Campaign {
+	s.testOnce.Do(func() { s.testCamp = dataset.GenerateTest(s.Seed + 1) })
+	return s.testCamp
+}
+
+// Classifier returns LiBRA's production 3-class random forest, trained once
+// on the main campaign.
+func (s *Suite) Classifier() (*core.MLClassifier, error) {
+	s.clfOnce.Do(func() { s.clf, s.clfErr = core.TrainDefaultClassifier(s.Main(), s.Seed+2) })
+	return s.clf, s.clfErr
+}
+
+// Pools returns the multi-impairment timeline state pools.
+func (s *Suite) Pools() *trace.Pools {
+	s.poolsOnce.Do(func() { s.pools = trace.NewPools(s.Seed + 3) })
+	return s.pools
+}
+
+// TestEntries returns the non-NA entries of the testing campaign — the
+// combined Buildings 1 & 2 set the single-impairment evaluation replays.
+func (s *Suite) TestEntries() []*dataset.Entry {
+	var out []*dataset.Entry
+	for _, e := range s.Test().Entries {
+		if e.Impairment != dataset.NoImpairment {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Table is a generic result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// CDFSeries builds a plottable CDF curve from a sample.
+func CDFSeries(label string, sample []float64, maxPoints int) Series {
+	c := dsp.NewCDF(sample)
+	x, y := c.Points(maxPoints)
+	return Series{Label: label, X: x, Y: y}
+}
+
+// Panel is one subfigure.
+type Panel struct {
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Figure is a multi-panel figure result.
+type Figure struct {
+	Title  string
+	Panels []Panel
+}
+
+// String renders the figure as quantile summaries per series — the textual
+// equivalent of the paper's CDF plots.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	qs := []float64{0.10, 0.25, 0.50, 0.75, 0.90}
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "-- %s (x: %s)\n", p.Title, p.XLabel)
+		for _, srs := range p.Series {
+			fmt.Fprintf(&b, "   %-22s n=%-4d", srs.Label, len(srs.X))
+			if len(srs.X) > 0 {
+				c := dsp.NewCDF(srs.X)
+				for _, q := range qs {
+					fmt.Fprintf(&b, " p%02.0f=%8.2f", q*100, c.Quantile(q))
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// BoxFigure is a boxplot-style figure (Figs 12-13).
+type BoxFigure struct {
+	Title  string
+	YLabel string
+	Panels []BoxPanel
+}
+
+// BoxPanel is one subfigure of grouped boxplots.
+type BoxPanel struct {
+	Title string
+	// Groups[i] is one labeled box.
+	Groups []BoxGroup
+}
+
+// BoxGroup is one box of a boxplot.
+type BoxGroup struct {
+	Label string
+	Stats dsp.BoxStats
+}
+
+// String renders the boxplot figure as five-number summaries.
+func (f *BoxFigure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s == (y: %s)\n", f.Title, f.YLabel)
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "-- %s\n", p.Title)
+		for _, g := range p.Groups {
+			s := g.Stats
+			fmt.Fprintf(&b, "   %-28s min=%8.2f q1=%8.2f med=%8.2f q3=%8.2f max=%8.2f (n=%d)\n",
+				g.Label, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.N)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+)
+
+// metricFigure builds one of Figs 4-9: per-impairment panels (displacement,
+// blockage, interference, overall) with the CDFs of one PHY metric for the
+// BA-preferred and RA-preferred cases. skipZero drops entries whose metric
+// is undefined (Pearson similarity over a dead signal), matching the
+// reduced counts in the paper's Figs 6-7.
+func metricFigure(s *Suite, title string, feature int, xLabel string, skipZero bool) *Figure {
+	camp := s.Main()
+	fig := &Figure{Title: title}
+	panels := []struct {
+		name string
+		im   dataset.Impairment
+	}{
+		{"Displacement", dataset.Displacement},
+		{"Blockage", dataset.Blockage},
+		{"Interference", dataset.Interference},
+		{"Overall", -1},
+	}
+	for _, p := range panels {
+		var ba, ra []float64
+		for _, e := range camp.Entries {
+			if e.Impairment == dataset.NoImpairment {
+				continue
+			}
+			if p.im >= 0 && e.Impairment != p.im {
+				continue
+			}
+			v := e.Features[feature]
+			if skipZero && v == 0 {
+				continue
+			}
+			if e.Label == dataset.ActBA {
+				ba = append(ba, v)
+			} else {
+				ra = append(ra, v)
+			}
+		}
+		fig.Panels = append(fig.Panels, Panel{
+			Title:  p.name,
+			XLabel: xLabel,
+			Series: []Series{
+				CDFSeries(fmt.Sprintf("BA (%d)", len(ba)), ba, 64),
+				CDFSeries(fmt.Sprintf("RA (%d)", len(ra)), ra, 64),
+			},
+		})
+	}
+	return fig
+}
+
+// Figure4 reproduces the SNR-difference CDFs (paper: a >7 dB drop under
+// displacement always means BA; the threshold shifts to ~12 dB overall).
+func Figure4(s *Suite) *Figure {
+	return metricFigure(s, "Figure 4: SNR Difference", 0, "SNR difference (dB)", false)
+}
+
+// Figure5 reproduces the ToF-difference CDFs (paper: negative differences —
+// backward motion — almost always mean RA; 0/∞ means BA).
+func Figure5(s *Suite) *Figure {
+	return metricFigure(s, "Figure 5: Time-of-flight Difference", 1, "ToF difference (ns; 25=unmeasurable)", false)
+}
+
+// Figure6 reproduces the PDP-similarity CDFs (paper: similarity is always
+// >0.65 thanks to 60 GHz channel sparsity and cannot separate the classes).
+func Figure6(s *Suite) *Figure {
+	return metricFigure(s, "Figure 6: PDP Similarity", 3, "Pearson correlation", true)
+}
+
+// Figure7 reproduces the CSI (FFT-PDP) similarity CDFs (paper: much more
+// diverse than PDP similarity but still heavily overlapping).
+func Figure7(s *Suite) *Figure {
+	return metricFigure(s, "Figure 7: CSI Similarity", 4, "Pearson correlation", true)
+}
+
+// Figure8 reproduces the CDR CDFs (paper: CDR is 0 for ~90% of BA and ~70%
+// of RA cases, so it cannot be used alone).
+func Figure8(s *Suite) *Figure {
+	return metricFigure(s, "Figure 8: Codeword Delivery Ratio", 5, "CDR", false)
+}
+
+// Figure9 reproduces the initial-MCS CDFs (paper: RA-preferred cases almost
+// always start from MCS 5-6; low initial MCS means BA).
+func Figure9(s *Suite) *Figure {
+	return metricFigure(s, "Figure 9: Initial MCS", 6, "MCS index", false)
+}

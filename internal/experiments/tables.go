@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/ml"
+)
+
+// datasetSummary builds a Table 1/2-shaped summary of a campaign.
+func datasetSummary(c *dataset.Campaign, title string, envGroups []envGroup) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"Scenario", "Total", "BA", "RA", "Positions"},
+	}
+	for _, h := range envGroups {
+		t.Header = append(t.Header, h.label)
+	}
+	rows := []struct {
+		name string
+		im   dataset.Impairment
+	}{
+		{"Displacement", dataset.Displacement},
+		{"Blockage", dataset.Blockage},
+		{"Interference", dataset.Interference},
+	}
+	for _, r := range rows {
+		ba, ra, _ := c.CountLabels(r.im)
+		row := []string{
+			r.name,
+			fmt.Sprint(ba + ra),
+			fmt.Sprint(ba),
+			fmt.Sprint(ra),
+			fmt.Sprint(c.SiteCount(r.im, "")),
+		}
+		for _, g := range envGroups {
+			n := 0
+			for _, p := range g.prefixes {
+				n += c.SiteCount(r.im, p)
+			}
+			row = append(row, fmt.Sprint(n))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	ba, ra, _ := c.CountLabels(-1)
+	total := []string{"Overall", fmt.Sprint(ba + ra), fmt.Sprint(ba), fmt.Sprint(ra), fmt.Sprint(c.SiteCount(-1, ""))}
+	for _, g := range envGroups {
+		n := 0
+		for _, p := range g.prefixes {
+			n += c.SiteCount(-1, p)
+		}
+		total = append(total, fmt.Sprint(n))
+	}
+	t.Rows = append(t.Rows, total)
+	return t
+}
+
+// envGroup maps a display column to environment name prefixes.
+type envGroup struct {
+	label    string
+	prefixes []string
+}
+
+// Table1 reproduces the main/training dataset summary (paper Table 1:
+// 668 cases — 488 BA / 180 RA — over 118 positions).
+func Table1(s *Suite) *Table {
+	return datasetSummary(s.Main(), "Table 1: Main/training dataset summary", []envGroup{
+		{"Lobby", []string{"lobby"}},
+		{"Lab", []string{"lab"}},
+		{"Conf.", []string{"conference"}},
+		{"Corridors", []string{"corridor"}},
+	})
+}
+
+// Table2 reproduces the testing dataset summary (paper Table 2: 228 cases —
+// 165 BA / 63 RA — over 42 positions in two different buildings).
+func Table2(s *Suite) *Table {
+	return datasetSummary(s.Test(), "Table 2: Testing dataset summary", []envGroup{
+		{"Building 1", []string{"building1"}},
+		{"Building 2", []string{"building2"}},
+	})
+}
+
+// Table3 reproduces the Gini feature importances (paper Table 3: InitialMCS
+// .26 and SNR .215 highest; PDP .06 lowest; no metric dominates).
+func Table3(s *Suite) (*Table, error) {
+	rf := &ml.RandomForest{NumTrees: 100, MaxDepth: 10, Seed: s.Seed + 11}
+	if err := rf.Fit(s.Test().ToML(false)); err != nil {
+		return nil, err
+	}
+	imp := rf.GiniImportance()
+	t := &Table{
+		Title:  "Table 3: Gini importance (RF on the testing dataset)",
+		Header: append([]string(nil), dataset.FeatureNames...),
+	}
+	row := make([]string, len(imp))
+	for i, v := range imp {
+		row[i] = fmt.Sprintf("%.3f", v)
+	}
+	t.Rows = [][]string{row}
+	return t, nil
+}

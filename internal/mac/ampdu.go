@@ -1,0 +1,56 @@
+package mac
+
+import (
+	"github.com/libra-wlan/libra/internal/ad"
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+// AMPDU mode: the 802.11-side view of a frame. §6.1 argues the X60 frame is
+// the analogue of an 802.11n/ac A-MPDU — same maximum length, with
+// codewords standing in for MPDUs — and approximates the legacy subframe
+// error rate (SFER) with the codeword delivery ratio. This file provides
+// the converse: an A-MPDU transmission whose per-MPDU delivery follows the
+// same SNR-driven error process, reporting SFER directly.
+
+// AMPDUResult is the outcome of one aggregated-frame exchange.
+type AMPDUResult struct {
+	// MPDUs is the number of subframes sent.
+	MPDUs int
+	// Delivered counts subframes that passed their CRC.
+	Delivered int
+	// SFER is the subframe error rate (1 - delivery ratio).
+	SFER float64
+	// DeliveredBits is the delivered payload.
+	DeliveredBits float64
+	// BlockACKed reports whether the Block ACK came back (at least one
+	// subframe delivered).
+	BlockACKed bool
+	// SNRdB is the receiver SNR during the exchange.
+	SNRdB float64
+}
+
+// SendAMPDU transmits one aggregated frame of n MPDUs of mpduBytes each at
+// the station's current MCS and beam pair. Per-MPDU delivery is Bernoulli
+// with the same waterfall probability that drives the codeword process.
+func (s *Station) SendAMPDU(n int, mpduBytes float64) AMPDUResult {
+	if n <= 0 {
+		n = 1
+	}
+	if mpduBytes <= 0 || mpduBytes > ad.MaxMPDUBytes {
+		mpduBytes = ad.MaxMPDUBytes
+	}
+	m := s.Link.Measure(s.TxBeam, s.RxBeam)
+	snr := m.SNRdB + s.Rng.NormFloat64()*s.SNRJitterDB
+	p := phy.CDR(s.MCS, snr)
+	res := AMPDUResult{MPDUs: n, SNRdB: snr}
+	for i := 0; i < n; i++ {
+		if s.Rng.Float64() < p {
+			res.Delivered++
+		}
+	}
+	res.SFER = ad.SFER(res.Delivered, n)
+	res.DeliveredBits = float64(res.Delivered) * mpduBytes * 8
+	res.BlockACKed = res.Delivered > 0
+	s.seq++
+	return res
+}

@@ -1,0 +1,200 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/env"
+	"github.com/libra-wlan/libra/internal/geom"
+	"github.com/libra-wlan/libra/internal/phased"
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+func testStation(d float64, seed int64) *Station {
+	e := env.MediumCorridor()
+	tx := phased.NewArray(geom.V(0.5, 1.6), 0, 1)
+	rx := phased.NewArray(geom.V(0.5+d, 1.6), 180, 2)
+	l := channel.NewLink(e, tx, rx)
+	s := NewStation(l, rand.New(rand.NewSource(seed)))
+	tb, rb, snr := l.BestPair()
+	s.TxBeam, s.RxBeam = tb, rb
+	s.MCS, _ = phy.BestMCS(snr)
+	return s
+}
+
+func TestSendFrameGoodLink(t *testing.T) {
+	s := testStation(5, 1)
+	rec := s.SendFrame()
+	if !rec.ACKed {
+		t.Fatal("good link frame not ACKed")
+	}
+	if rec.CDR < 0.3 {
+		t.Errorf("good link CDR = %v", rec.CDR)
+	}
+	if rec.DeliveredBits <= 0 {
+		t.Error("no bits delivered")
+	}
+	if rec.MCS != s.MCS || rec.TxBeam != s.TxBeam || rec.RxBeam != s.RxBeam {
+		t.Error("record does not reflect station config")
+	}
+	if len(rec.PDP) != channel.PDPTaps {
+		t.Errorf("PDP length = %d", len(rec.PDP))
+	}
+	if math.IsInf(rec.ToFNs, 1) {
+		t.Error("ToF infinite on a good link")
+	}
+}
+
+func TestSendFrameDeadLink(t *testing.T) {
+	s := testStation(5, 2)
+	s.Link.ImplLossDB = 90 // kill the channel
+	s.Link.Invalidate()
+	rec := s.SendFrame()
+	if rec.ACKed {
+		t.Error("dead link frame ACKed")
+	}
+	if rec.CDR != 0 || rec.DeliveredBits != 0 {
+		t.Errorf("dead link delivered CDR=%v bits=%v", rec.CDR, rec.DeliveredBits)
+	}
+}
+
+func TestSequenceNumbers(t *testing.T) {
+	s := testStation(5, 3)
+	recs := s.SendFrames(5)
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Fatalf("seq[%d] = %d", i, r.Seq)
+		}
+	}
+	if next := s.SendFrame(); next.Seq != 5 {
+		t.Errorf("continuation seq = %d", next.Seq)
+	}
+}
+
+func TestThroughputBps(t *testing.T) {
+	rec := FrameRecord{DeliveredBits: 1e6}
+	if got := rec.ThroughputBps(); math.Abs(got-1e8) > 1 {
+		t.Errorf("ThroughputBps = %v", got)
+	}
+}
+
+func TestProbeMCSRestores(t *testing.T) {
+	s := testStation(5, 4)
+	orig := s.MCS
+	rec := s.ProbeMCS(phy.MinMCS)
+	if rec.MCS != phy.MinMCS {
+		t.Errorf("probe used %v", rec.MCS)
+	}
+	if s.MCS != orig {
+		t.Errorf("probe changed station MCS to %v", s.MCS)
+	}
+}
+
+func TestAverages(t *testing.T) {
+	recs := []FrameRecord{
+		{DeliveredBits: 2e6, CDR: 0.5},
+		{DeliveredBits: 4e6, CDR: 1.0},
+	}
+	if got := AvgCDR(recs); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("AvgCDR = %v", got)
+	}
+	want := (2e6 + 4e6) / (2 * phy.FrameDuration)
+	if got := AvgThroughputBps(recs); math.Abs(got-want) > 1 {
+		t.Errorf("AvgThroughputBps = %v, want %v", got, want)
+	}
+	if AvgCDR(nil) != 0 || AvgThroughputBps(nil) != 0 {
+		t.Error("empty averages should be 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := testStation(7, 99)
+	b := testStation(7, 99)
+	for i := 0; i < 20; i++ {
+		ra, rb := a.SendFrame(), b.SendFrame()
+		if ra.CDR != rb.CDR || ra.SNRdB != rb.SNRdB {
+			t.Fatal("same seed produced different frame outcomes")
+		}
+	}
+}
+
+func TestMeasurementNoisePresent(t *testing.T) {
+	s := testStation(7, 5)
+	seen := map[float64]bool{}
+	for i := 0; i < 10; i++ {
+		seen[s.SendFrame().SNRdB] = true
+	}
+	if len(seen) < 5 {
+		t.Error("per-frame SNR jitter missing")
+	}
+}
+
+func TestHigherMCSDropsOnWeakLink(t *testing.T) {
+	s := testStation(16, 6) // long link: low SNR
+	s.MCS = phy.MaxMCS
+	rec := s.SendFrame()
+	if rec.CDR > 0.01 {
+		t.Errorf("top MCS on weak link has CDR %v", rec.CDR)
+	}
+}
+
+func TestSendAMPDUHealthy(t *testing.T) {
+	s := testStation(5, 10)
+	res := s.SendAMPDU(64, 4000)
+	if res.MPDUs != 64 {
+		t.Errorf("MPDUs = %d", res.MPDUs)
+	}
+	if !res.BlockACKed || res.Delivered == 0 {
+		t.Errorf("healthy link delivered %d/64", res.Delivered)
+	}
+	// The delivery count tracks the waterfall probability at the SNR the
+	// frame actually saw (jitter included); binomial n=64, 4-sigma band.
+	p := phy.CDR(s.MCS, res.SNRdB)
+	mean := 64 * p
+	if d := float64(res.Delivered); d < mean-16 || d > mean+16 {
+		t.Errorf("delivered %v far from expected %v at drawn SNR", d, mean)
+	}
+	if res.SFER < 0 || res.SFER > 1 {
+		t.Errorf("SFER = %v", res.SFER)
+	}
+	want := float64(res.Delivered) * 4000 * 8
+	if res.DeliveredBits != want {
+		t.Errorf("bits = %v, want %v", res.DeliveredBits, want)
+	}
+}
+
+func TestSendAMPDUDead(t *testing.T) {
+	s := testStation(5, 11)
+	s.Link.ImplLossDB = 90
+	s.Link.Invalidate()
+	res := s.SendAMPDU(32, 4000)
+	if res.BlockACKed || res.Delivered != 0 || res.SFER != 1 {
+		t.Errorf("dead link AMPDU: %+v", res)
+	}
+}
+
+func TestSendAMPDUSFERMatchesCDR(t *testing.T) {
+	// Over many subframes, 1-SFER converges to the codeword delivery ratio
+	// at the same SNR — the §6.1 analogy, in reverse.
+	s := testStation(10, 12)
+	var sfer float64
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		sfer += s.SendAMPDU(256, 2000).SFER / rounds
+	}
+	snr := s.Link.SNRdB(s.TxBeam, s.RxBeam)
+	want := 1 - phy.CDR(s.MCS, snr)
+	if diff := sfer - want; diff < -0.08 || diff > 0.08 {
+		t.Errorf("mean SFER %v vs 1-CDR %v", sfer, want)
+	}
+}
+
+func TestSendAMPDUClamps(t *testing.T) {
+	s := testStation(5, 13)
+	res := s.SendAMPDU(0, -5)
+	if res.MPDUs != 1 {
+		t.Errorf("clamped MPDUs = %d", res.MPDUs)
+	}
+}

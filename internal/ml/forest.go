@@ -1,0 +1,134 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of decision trees with per-split feature
+// subsampling. The paper finds random forests to be the best 2-class model
+// (98% accuracy/F1 in 5-fold CV) and uses a 3-class RF (BA/RA/NA) inside
+// LiBRA (§6.2, §7).
+type RandomForest struct {
+	// NumTrees is the ensemble size (<=0 means 100).
+	NumTrees int
+	// MaxDepth bounds individual tree depth (<=0 means 8).
+	MaxDepth int
+	// MinLeaf is the per-leaf minimum (<=0 means 2).
+	MinLeaf int
+	// Criterion is the impurity measure (Gini by default).
+	Criterion Criterion
+	// MaxFeatures limits features per split (<=0 means sqrt(#features)).
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed int64
+
+	trees      []*DecisionTree
+	importance []float64
+	numClasses int
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "random-forest" }
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if f.NumTrees <= 0 {
+		f.NumTrees = 100
+	}
+	maxFeat := f.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = int(math.Ceil(math.Sqrt(float64(d.NumFeatures()))))
+	}
+	rng := rand.New(rand.NewSource(f.Seed ^ 0x5eed))
+	f.numClasses = d.NumClasses()
+	f.trees = make([]*DecisionTree, 0, f.NumTrees)
+	f.importance = make([]float64, d.NumFeatures())
+
+	n := d.Len()
+	for t := 0; t < f.NumTrees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot := d.Subset(idx)
+		tree := &DecisionTree{
+			MaxDepth:    f.MaxDepth,
+			MinLeaf:     f.MinLeaf,
+			Criterion:   f.Criterion,
+			MaxFeatures: maxFeat,
+			Rng:         rand.New(rand.NewSource(rng.Int63())),
+		}
+		if err := tree.Fit(boot); err != nil {
+			return err
+		}
+		f.trees = append(f.trees, tree)
+		for i, v := range tree.Importance() {
+			f.importance[i] += v
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier via majority vote.
+func (f *RandomForest) Predict(x []float64) int {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	votes := make([]int, f.numClasses)
+	for _, t := range f.trees {
+		c := t.Predict(x)
+		if c >= len(votes) {
+			grown := make([]int, c+1)
+			copy(grown, votes)
+			votes = grown
+		}
+		votes[c]++
+	}
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// Proba returns the vote distribution over classes for x.
+func (f *RandomForest) Proba(x []float64) []float64 {
+	p := make([]float64, f.numClasses)
+	if len(f.trees) == 0 {
+		return p
+	}
+	for _, t := range f.trees {
+		c := t.Predict(x)
+		if c < len(p) {
+			p[c]++
+		}
+	}
+	for i := range p {
+		p[i] /= float64(len(f.trees))
+	}
+	return p
+}
+
+// GiniImportance returns the normalized mean decrease in impurity per
+// feature (summing to 1), the metric of Table 3.
+func (f *RandomForest) GiniImportance() []float64 {
+	out := make([]float64, len(f.importance))
+	var total float64
+	for _, v := range f.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range f.importance {
+		out[i] = v / total
+	}
+	return out
+}

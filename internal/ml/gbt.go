@@ -1,0 +1,226 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// GradientBoosting is a gradient-boosted-trees classifier (logistic loss,
+// shallow regression trees, shrinkage). The paper evaluates DT, RF, SVM, and
+// DNN; boosted trees are included as the natural next classical model for
+// the ablation study of LiBRA's decision core. Multi-class problems use
+// one-vs-rest.
+type GradientBoosting struct {
+	// Trees is the number of boosting rounds (<=0 means 100).
+	Trees int
+	// Depth bounds each regression tree (<=0 means 3).
+	Depth int
+	// LearningRate is the shrinkage factor (<=0 means 0.1).
+	LearningRate float64
+	// MinLeaf is the minimum samples per leaf (<=0 means 4).
+	MinLeaf int
+
+	ensembles  [][]*regTree // one ensemble per class (1 for binary)
+	base       []float64    // per-ensemble prior log-odds
+	numClasses int
+}
+
+// Name implements Classifier.
+func (g *GradientBoosting) Name() string { return "gradient-boosting" }
+
+// regNode is one node of a regression tree.
+type regNode struct {
+	isLeaf    bool
+	value     float64
+	feature   int
+	threshold float64
+	left      *regNode
+	right     *regNode
+}
+
+// regTree is a fitted regression tree.
+type regTree struct {
+	root    *regNode
+	minLeaf int
+	depth   int
+}
+
+// predict evaluates the tree at x.
+func (t *regTree) predict(x []float64) float64 {
+	n := t.root
+	for !n.isLeaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// fitReg grows a regression tree on (x, residuals) minimizing squared error.
+func fitReg(x [][]float64, y []float64, idx []int, depth, maxDepth, minLeaf int) *regNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	if depth >= maxDepth || len(idx) < 2*minLeaf {
+		return &regNode{isLeaf: true, value: mean}
+	}
+
+	bestFeat, bestThr, bestGain := -1, 0.0, 1e-12
+	nf := len(x[0])
+	type fv struct {
+		v, y float64
+	}
+	vals := make([]fv, len(idx))
+	var totalSum, totalSq float64
+	for _, i := range idx {
+		totalSum += y[i]
+		totalSq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	parentSSE := totalSq - totalSum*totalSum/n
+
+	for f := 0; f < nf; f++ {
+		for k, i := range idx {
+			vals[k] = fv{v: x[i][f], y: y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		var leftSum, leftSq float64
+		for k := 0; k < len(vals)-1; k++ {
+			leftSum += vals[k].y
+			leftSq += vals[k].y * vals[k].y
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < minLeaf || int(nr) < minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			rightSq := totalSq - leftSq
+			sse := (leftSq - leftSum*leftSum/nl) + (rightSq - rightSum*rightSum/nr)
+			if gain := parentSSE - sse; gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThr = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &regNode{isLeaf: true, value: mean}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		return &regNode{isLeaf: true, value: mean}
+	}
+	return &regNode{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      fitReg(x, y, left, depth+1, maxDepth, minLeaf),
+		right:     fitReg(x, y, right, depth+1, maxDepth, minLeaf),
+	}
+}
+
+// Fit implements Classifier.
+func (g *GradientBoosting) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if g.Trees <= 0 {
+		g.Trees = 100
+	}
+	if g.Depth <= 0 {
+		g.Depth = 3
+	}
+	if g.LearningRate <= 0 {
+		g.LearningRate = 0.1
+	}
+	if g.MinLeaf <= 0 {
+		g.MinLeaf = 4
+	}
+	g.numClasses = d.NumClasses()
+	ensembles := 1
+	if g.numClasses > 2 {
+		ensembles = g.numClasses
+	}
+	g.ensembles = make([][]*regTree, ensembles)
+	g.base = make([]float64, ensembles)
+
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	for c := 0; c < ensembles; c++ {
+		// Binary target for this ensemble.
+		target := make([]float64, d.Len())
+		pos := 0
+		for i, y := range d.Y {
+			hit := (ensembles == 1 && y == 1) || (ensembles > 1 && y == c)
+			if hit {
+				target[i] = 1
+				pos++
+			}
+		}
+		// Prior log-odds.
+		p := (float64(pos) + 0.5) / (float64(d.Len()) + 1)
+		g.base[c] = math.Log(p / (1 - p))
+
+		score := make([]float64, d.Len())
+		for i := range score {
+			score[i] = g.base[c]
+		}
+		resid := make([]float64, d.Len())
+		for round := 0; round < g.Trees; round++ {
+			for i := range resid {
+				resid[i] = target[i] - sigmoid(score[i])
+			}
+			tree := &regTree{minLeaf: g.MinLeaf, depth: g.Depth}
+			tree.root = fitReg(d.X, resid, idx, 0, g.Depth, g.MinLeaf)
+			g.ensembles[c] = append(g.ensembles[c], tree)
+			for i := range score {
+				score[i] += g.LearningRate * tree.predict(d.X[i])
+			}
+		}
+	}
+	return nil
+}
+
+// score returns the raw ensemble output for class c.
+func (g *GradientBoosting) score(c int, x []float64) float64 {
+	s := g.base[c]
+	for _, t := range g.ensembles[c] {
+		s += g.LearningRate * t.predict(x)
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (g *GradientBoosting) Predict(x []float64) int {
+	if len(g.ensembles) == 0 {
+		return 0
+	}
+	if len(g.ensembles) == 1 {
+		if g.score(0, x) >= 0 {
+			return 1
+		}
+		return 0
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c := range g.ensembles {
+		if v := g.score(c, x); v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

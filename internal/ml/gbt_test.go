@@ -1,0 +1,73 @@
+package ml
+
+import "testing"
+
+func TestGBTSeparable(t *testing.T) {
+	d := linearData(400, 21)
+	g := &GradientBoosting{Trees: 60}
+	if err := g.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(g, d); acc < 0.95 {
+		t.Errorf("GBT separable accuracy = %v", acc)
+	}
+}
+
+func TestGBTXOR(t *testing.T) {
+	d := xorData(600, 22)
+	g := &GradientBoosting{Trees: 120, Depth: 4}
+	if err := g.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(g, d); acc < 0.9 {
+		t.Errorf("GBT XOR accuracy = %v", acc)
+	}
+}
+
+func TestGBTMultiClass(t *testing.T) {
+	d := threeClassData(300, 23)
+	g := &GradientBoosting{Trees: 50}
+	if err := g.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(g, d); acc < 0.95 {
+		t.Errorf("GBT 3-class accuracy = %v", acc)
+	}
+}
+
+func TestGBTShrinkageMatters(t *testing.T) {
+	// Very few rounds with tiny shrinkage must underfit relative to the
+	// default; verifies the learning rate is actually wired in.
+	d := xorData(400, 24)
+	weak := &GradientBoosting{Trees: 3, LearningRate: 0.01, Depth: 2}
+	if err := weak.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	strong := &GradientBoosting{Trees: 120, Depth: 4}
+	if err := strong.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if trainAccuracy(weak, d) >= trainAccuracy(strong, d) {
+		t.Error("3 tiny rounds matched a full ensemble")
+	}
+}
+
+func TestGBTUnfitted(t *testing.T) {
+	g := &GradientBoosting{}
+	if g.Predict([]float64{1, 2}) != 0 {
+		t.Error("unfitted GBT should predict 0")
+	}
+}
+
+func TestGBTRejectsInvalid(t *testing.T) {
+	g := &GradientBoosting{Trees: 2}
+	if err := g.Fit(&Dataset{X: [][]float64{{1}}, Y: []int{0, 1}}); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+func TestGBTName(t *testing.T) {
+	if (&GradientBoosting{}).Name() != "gradient-boosting" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,77 @@
+package ml
+
+// Accuracy returns the fraction of predictions matching the true labels.
+func Accuracy(yTrue, yPred []int) float64 {
+	if len(yTrue) == 0 || len(yTrue) != len(yPred) {
+		return 0
+	}
+	correct := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(yTrue))
+}
+
+// Confusion returns the confusion matrix: confusion[true][pred] counts.
+func Confusion(yTrue, yPred []int) [][]int {
+	n := 0
+	for i := range yTrue {
+		if yTrue[i]+1 > n {
+			n = yTrue[i] + 1
+		}
+		if yPred[i]+1 > n {
+			n = yPred[i] + 1
+		}
+	}
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for i := range yTrue {
+		m[yTrue[i]][yPred[i]]++
+	}
+	return m
+}
+
+// F1PerClass returns the one-vs-rest F1 score for each class along with the
+// class support counts.
+func F1PerClass(yTrue, yPred []int) (f1 []float64, support []int) {
+	cm := Confusion(yTrue, yPred)
+	n := len(cm)
+	f1 = make([]float64, n)
+	support = make([]int, n)
+	for c := 0; c < n; c++ {
+		var tp, fp, fn int
+		for o := 0; o < n; o++ {
+			if o == c {
+				tp = cm[c][c]
+				continue
+			}
+			fn += cm[c][o]
+			fp += cm[o][c]
+		}
+		support[c] = tp + fn
+		denom := 2*tp + fp + fn
+		if denom > 0 {
+			f1[c] = 2 * float64(tp) / float64(denom)
+		}
+	}
+	return f1, support
+}
+
+// WeightedF1 returns the support-weighted mean of per-class F1 scores, the
+// "weighted F1 score" metric the paper reports alongside accuracy.
+func WeightedF1(yTrue, yPred []int) float64 {
+	f1, support := F1PerClass(yTrue, yPred)
+	var total, weighted float64
+	for c := range f1 {
+		total += float64(support[c])
+		weighted += f1[c] * float64(support[c])
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}

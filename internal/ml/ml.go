@@ -1,0 +1,209 @@
+// Package ml is a from-scratch, dependency-free implementation of the
+// machine-learning toolbox the paper uses for link adaptation (§6.2):
+// decision trees (Gini and entropy impurity, bounded depth), random forests
+// with Gini feature importance, support vector machines (linear and RBF
+// kernel), and a small dense neural network (4 layers, ReLU + sigmoid,
+// dropout), together with stratified k-fold cross-validation and the
+// accuracy / weighted-F1 metrics the paper reports.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a feature matrix with integer class labels.
+type Dataset struct {
+	// X is the feature matrix, one row per sample.
+	X [][]float64
+	// Y holds the class label of each row, in [0, NumClasses).
+	Y []int
+	// FeatureNames optionally names the columns.
+	FeatureNames []string
+	// ClassNames optionally names the labels.
+	ClassNames []string
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the feature dimensionality (0 for an empty dataset).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// NumClasses returns 1 + the maximum label value.
+func (d *Dataset) NumClasses() int {
+	n := 0
+	for _, y := range d.Y {
+		if y+1 > n {
+			n = y + 1
+		}
+	}
+	return n
+}
+
+// Validate checks structural consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	nf := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != nf {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 {
+			return fmt.Errorf("ml: row %d has negative label %d", i, y)
+		}
+	}
+	return nil
+}
+
+// Subset returns a new Dataset containing the rows at the given indices.
+// Rows are shared, not copied.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{
+		X:            make([][]float64, 0, len(idx)),
+		Y:            make([]int, 0, len(idx)),
+		FeatureNames: d.FeatureNames,
+		ClassNames:   d.ClassNames,
+	}
+	for _, i := range idx {
+		s.X = append(s.X, d.X[i])
+		s.Y = append(s.Y, d.Y[i])
+	}
+	return s
+}
+
+// Append adds one sample.
+func (d *Dataset) Append(x []float64, y int) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Classifier is a trainable multi-class classifier.
+type Classifier interface {
+	// Name identifies the model family ("random-forest", ...).
+	Name() string
+	// Fit trains on the dataset.
+	Fit(d *Dataset) error
+	// Predict returns the predicted class for a feature vector.
+	Predict(x []float64) int
+}
+
+// PredictAll applies a fitted classifier to every row of d.
+func PredictAll(c Classifier, d *Dataset) []int {
+	out := make([]int, d.Len())
+	for i, row := range d.X {
+		out[i] = c.Predict(row)
+	}
+	return out
+}
+
+// StratifiedKFold partitions sample indices into k folds that preserve class
+// proportions (the validation protocol of §6.2). It returns, per fold, the
+// test-set indices; the train set of fold i is every other fold.
+func StratifiedKFold(y []int, k int, rng *rand.Rand) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	byClass := map[int][]int{}
+	for i, label := range y {
+		byClass[label] = append(byClass[label], i)
+	}
+	folds := make([][]int, k)
+	// Deterministic class order, shuffled members.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sortInts(classes)
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for j, i := range idx {
+			folds[j%k] = append(folds[j%k], i)
+		}
+	}
+	return folds
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// CVResult summarizes a cross-validation run.
+type CVResult struct {
+	// Accuracy is the mean accuracy over folds.
+	Accuracy float64
+	// WeightedF1 is the mean weighted F1 score over folds.
+	WeightedF1 float64
+	// Folds is the number of folds evaluated.
+	Folds int
+}
+
+// CrossValidate runs stratified k-fold cross-validation of the classifier
+// factory over the dataset. factory must return a fresh, unfitted model on
+// each call.
+func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
+	folds := StratifiedKFold(d.Y, k, rng)
+	var res CVResult
+	for fi := range folds {
+		var trainIdx []int
+		for fj := range folds {
+			if fj != fi {
+				trainIdx = append(trainIdx, folds[fj]...)
+			}
+		}
+		train := d.Subset(trainIdx)
+		test := d.Subset(folds[fi])
+		c := factory()
+		if err := c.Fit(train); err != nil {
+			return CVResult{}, fmt.Errorf("ml: fold %d: %w", fi, err)
+		}
+		pred := PredictAll(c, test)
+		res.Accuracy += Accuracy(test.Y, pred)
+		res.WeightedF1 += WeightedF1(test.Y, pred)
+		res.Folds++
+	}
+	if res.Folds > 0 {
+		res.Accuracy /= float64(res.Folds)
+		res.WeightedF1 /= float64(res.Folds)
+	}
+	return res, nil
+}
+
+// RepeatedCV repeats stratified k-fold cross-validation `reps` times with
+// fresh random splits (the paper repeats 500 times) and returns the mean of
+// the per-repetition results.
+func RepeatedCV(factory func() Classifier, d *Dataset, k, reps int, rng *rand.Rand) (CVResult, error) {
+	var agg CVResult
+	for r := 0; r < reps; r++ {
+		res, err := CrossValidate(factory, d, k, rng)
+		if err != nil {
+			return CVResult{}, err
+		}
+		agg.Accuracy += res.Accuracy
+		agg.WeightedF1 += res.WeightedF1
+		agg.Folds += res.Folds
+	}
+	if reps > 0 {
+		agg.Accuracy /= float64(reps)
+		agg.WeightedF1 /= float64(reps)
+	}
+	return agg, nil
+}

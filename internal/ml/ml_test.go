@@ -1,0 +1,528 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// linearData builds a linearly separable 2-D dataset: class 1 iff x+y > 0.
+func linearData(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*4 - 2
+		y := rng.Float64()*4 - 2
+		label := 0
+		if x+y > 0 {
+			label = 1
+		}
+		d.Append([]float64{x, y}, label)
+	}
+	return d
+}
+
+// xorData builds the canonical non-linearly-separable 2-class problem.
+func xorData(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*2 - 1
+		y := rng.Float64()*2 - 1
+		label := 0
+		if (x > 0) != (y > 0) {
+			label = 1
+		}
+		d.Append([]float64{x, y}, label)
+	}
+	return d
+}
+
+// threeClassData builds three well-separated Gaussian blobs.
+func threeClassData(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]float64{{0, 0}, {6, 0}, {0, 6}}
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		c := i % 3
+		d.Append([]float64{
+			centers[c][0] + rng.NormFloat64(),
+			centers[c][1] + rng.NormFloat64(),
+		}, c)
+	}
+	return d
+}
+
+func trainAccuracy(c Classifier, d *Dataset) float64 {
+	return Accuracy(d.Y, PredictAll(c, d))
+}
+
+func TestDatasetValidate(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1, 2}}, Y: []int{0}}
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	bad := &Dataset{X: [][]float64{{1, 2}, {1}}, Y: []int{0, 1}}
+	if bad.Validate() == nil {
+		t.Error("ragged rows accepted")
+	}
+	mismatch := &Dataset{X: [][]float64{{1}}, Y: []int{0, 1}}
+	if mismatch.Validate() == nil {
+		t.Error("row/label mismatch accepted")
+	}
+	empty := &Dataset{}
+	if empty.Validate() == nil {
+		t.Error("empty dataset accepted")
+	}
+	neg := &Dataset{X: [][]float64{{1}}, Y: []int{-1}}
+	if neg.Validate() == nil {
+		t.Error("negative label accepted")
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	d := threeClassData(30, 1)
+	if d.Len() != 30 || d.NumFeatures() != 2 || d.NumClasses() != 3 {
+		t.Errorf("accessors: %d %d %d", d.Len(), d.NumFeatures(), d.NumClasses())
+	}
+	s := d.Subset([]int{0, 1, 2})
+	if s.Len() != 3 {
+		t.Errorf("subset len = %d", s.Len())
+	}
+	if (&Dataset{}).NumFeatures() != 0 {
+		t.Error("empty NumFeatures")
+	}
+}
+
+func TestStratifiedKFold(t *testing.T) {
+	y := make([]int, 100)
+	for i := range y {
+		if i < 20 {
+			y[i] = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	folds := StratifiedKFold(y, 5, rng)
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]int{}
+	for fi, fold := range folds {
+		ones := 0
+		for _, i := range fold {
+			seen[i]++
+			if y[i] == 1 {
+				ones++
+			}
+		}
+		if ones != 4 {
+			t.Errorf("fold %d has %d minority samples, want 4", fi, ones)
+		}
+	}
+	if len(seen) != 100 {
+		t.Errorf("folds cover %d samples", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("sample %d appears %d times", i, n)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 0, 1, 1}, []int{1, 1, 1, 0}); got != 0.5 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy")
+	}
+	if Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Error("length mismatch accuracy")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	cm := Confusion([]int{0, 0, 1, 1}, []int{0, 1, 1, 1})
+	if cm[0][0] != 1 || cm[0][1] != 1 || cm[1][1] != 2 || cm[1][0] != 0 {
+		t.Errorf("confusion = %v", cm)
+	}
+}
+
+func TestF1(t *testing.T) {
+	// Perfect predictions: F1 = 1 everywhere.
+	y := []int{0, 1, 0, 1, 2}
+	f1, support := F1PerClass(y, y)
+	for c, v := range f1 {
+		if v != 1 {
+			t.Errorf("class %d F1 = %v", c, v)
+		}
+		_ = support
+	}
+	if got := WeightedF1(y, y); got != 1 {
+		t.Errorf("weighted F1 = %v", got)
+	}
+	// Known case: TP=1 FP=1 FN=1 for class 1 -> F1 = 0.5.
+	f1b, _ := F1PerClass([]int{1, 1, 0}, []int{1, 0, 1})
+	if math.Abs(f1b[1]-0.5) > 1e-12 {
+		t.Errorf("class 1 F1 = %v", f1b[1])
+	}
+}
+
+func TestWeightedF1Imbalance(t *testing.T) {
+	// A classifier that always predicts the majority: weighted F1 rewards
+	// majority performance but stays below 1.
+	y := []int{0, 0, 0, 0, 0, 0, 0, 0, 1, 1}
+	pred := make([]int, 10)
+	got := WeightedF1(y, pred)
+	if got <= 0.5 || got >= 1 {
+		t.Errorf("imbalanced weighted F1 = %v", got)
+	}
+}
+
+func TestDecisionTreeSeparable(t *testing.T) {
+	d := linearData(300, 1)
+	dt := &DecisionTree{MaxDepth: 10}
+	if err := dt.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(dt, d); acc < 0.95 {
+		t.Errorf("train accuracy on separable data = %v", acc)
+	}
+}
+
+func TestDecisionTreeDepthBound(t *testing.T) {
+	d := xorData(500, 2)
+	dt := &DecisionTree{MaxDepth: 3}
+	if err := dt.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := dt.Depth(); got > 3 {
+		t.Errorf("depth = %d, bound 3", got)
+	}
+}
+
+func TestDecisionTreeEntropy(t *testing.T) {
+	d := linearData(300, 3)
+	dt := &DecisionTree{MaxDepth: 10, Criterion: Entropy}
+	if err := dt.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(dt, d); acc < 0.95 {
+		t.Errorf("entropy tree accuracy = %v", acc)
+	}
+}
+
+func TestImpurityValues(t *testing.T) {
+	// Gini of a pure node is 0; of a 50/50 node is 0.5.
+	if got := Gini.impurity([]int{10, 0}, 10); got != 0 {
+		t.Errorf("pure gini = %v", got)
+	}
+	if got := Gini.impurity([]int{5, 5}, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("even gini = %v", got)
+	}
+	// Entropy of a 50/50 node is 1 bit.
+	if got := Entropy.impurity([]int{5, 5}, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("even entropy = %v", got)
+	}
+	if got := Entropy.impurity(nil, 0); got != 0 {
+		t.Errorf("empty impurity = %v", got)
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	if Gini.String() != "gini" || Entropy.String() != "entropy" {
+		t.Error("criterion names")
+	}
+}
+
+func TestDecisionTreeImportance(t *testing.T) {
+	// Feature 0 decides the label; feature 1 is noise.
+	rng := rand.New(rand.NewSource(4))
+	d := &Dataset{}
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()*2 - 1
+		noise := rng.Float64()
+		label := 0
+		if x > 0 {
+			label = 1
+		}
+		d.Append([]float64{x, noise}, label)
+	}
+	dt := &DecisionTree{MaxDepth: 6}
+	if err := dt.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	imp := dt.Importance()
+	if imp[0] <= imp[1] {
+		t.Errorf("importance inverted: %v", imp)
+	}
+}
+
+func TestRandomForestBlobs(t *testing.T) {
+	d := threeClassData(300, 5)
+	rf := &RandomForest{NumTrees: 30, MaxDepth: 8, Seed: 1}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(rf, d); acc < 0.97 {
+		t.Errorf("forest blob accuracy = %v", acc)
+	}
+}
+
+func TestRandomForestXOR(t *testing.T) {
+	d := xorData(600, 6)
+	rf := &RandomForest{NumTrees: 40, MaxDepth: 10, Seed: 2, MaxFeatures: 2}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(rf, d); acc < 0.9 {
+		t.Errorf("forest XOR accuracy = %v", acc)
+	}
+}
+
+func TestRandomForestProba(t *testing.T) {
+	d := threeClassData(150, 7)
+	rf := &RandomForest{NumTrees: 20, Seed: 3}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	p := rf.Proba(d.X[0])
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestRandomForestImportanceNormalized(t *testing.T) {
+	d := linearData(200, 8)
+	rf := &RandomForest{NumTrees: 15, Seed: 4}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	imp := rf.GiniImportance()
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+func TestRandomForestDeterminism(t *testing.T) {
+	d := xorData(200, 9)
+	a := &RandomForest{NumTrees: 10, Seed: 7}
+	b := &RandomForest{NumTrees: 10, Seed: 7}
+	if err := a.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.X {
+		if a.Predict(d.X[i]) != b.Predict(d.X[i]) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestSVMLinearSeparable(t *testing.T) {
+	d := linearData(200, 10)
+	svm := &SVM{Kernel: LinearKernel, C: 1, Seed: 1}
+	if err := svm.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(svm, d); acc < 0.93 {
+		t.Errorf("linear SVM accuracy = %v", acc)
+	}
+}
+
+func TestSVMRBFOnXOR(t *testing.T) {
+	d := xorData(300, 11)
+	svm := &SVM{Kernel: RBFKernel, C: 10, Gamma: 2, Seed: 1}
+	if err := svm.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(svm, d); acc < 0.85 {
+		t.Errorf("RBF SVM XOR accuracy = %v", acc)
+	}
+}
+
+func TestSVMMultiClass(t *testing.T) {
+	d := threeClassData(240, 12)
+	svm := &SVM{Kernel: LinearKernel, C: 1, Seed: 1}
+	if err := svm.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(svm, d); acc < 0.9 {
+		t.Errorf("multi-class SVM accuracy = %v", acc)
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	if LinearKernel.String() != "linear" || RBFKernel.String() != "rbf" {
+		t.Error("kernel names")
+	}
+	svm := &SVM{Kernel: RBFKernel}
+	if svm.Name() != "svm-rbf" {
+		t.Errorf("Name = %q", svm.Name())
+	}
+}
+
+func TestNeuralNetSeparable(t *testing.T) {
+	d := linearData(400, 13)
+	nn := &NeuralNet{Epochs: 80, Seed: 1, Dropout: -1}
+	if err := nn.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(nn, d); acc < 0.93 {
+		t.Errorf("NN accuracy = %v", acc)
+	}
+}
+
+func TestNeuralNetXOR(t *testing.T) {
+	d := xorData(600, 14)
+	nn := &NeuralNet{Epochs: 220, Seed: 2, Dropout: -1, LearningRate: 3e-3}
+	if err := nn.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(nn, d); acc < 0.85 {
+		t.Errorf("NN XOR accuracy = %v", acc)
+	}
+}
+
+func TestNeuralNetMultiClass(t *testing.T) {
+	d := threeClassData(300, 15)
+	nn := &NeuralNet{Epochs: 100, Seed: 3}
+	if err := nn.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(nn, d); acc < 0.9 {
+		t.Errorf("NN 3-class accuracy = %v", acc)
+	}
+}
+
+func TestNeuralNetDropoutStillLearns(t *testing.T) {
+	d := linearData(400, 16)
+	nn := &NeuralNet{Epochs: 120, Seed: 4, Dropout: 0.2}
+	if err := nn.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := trainAccuracy(nn, d); acc < 0.88 {
+		t.Errorf("NN with dropout accuracy = %v", acc)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1, 10}, {3, 30}, {5, 50}}, Y: []int{0, 0, 0}}
+	s := FitScaler(d)
+	if math.Abs(s.Mean[0]-3) > 1e-12 || math.Abs(s.Mean[1]-30) > 1e-12 {
+		t.Errorf("means = %v", s.Mean)
+	}
+	scaled := s.ApplyAll(d)
+	for j := 0; j < 2; j++ {
+		var mean float64
+		for i := range scaled.X {
+			mean += scaled.X[i][j]
+		}
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("scaled column %d mean = %v", j, mean/3)
+		}
+	}
+	// Constant column does not produce NaN.
+	dc := &Dataset{X: [][]float64{{7}, {7}}, Y: []int{0, 1}}
+	sc := FitScaler(dc)
+	out := sc.Apply([]float64{7})
+	if math.IsNaN(out[0]) {
+		t.Error("constant feature scaled to NaN")
+	}
+}
+
+func TestCrossValidatePipeline(t *testing.T) {
+	d := linearData(250, 17)
+	rng := rand.New(rand.NewSource(1))
+	res, err := CrossValidate(func() Classifier {
+		return &DecisionTree{MaxDepth: 6}
+	}, d, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folds != 5 {
+		t.Errorf("folds = %d", res.Folds)
+	}
+	if res.Accuracy < 0.9 {
+		t.Errorf("CV accuracy = %v", res.Accuracy)
+	}
+	if res.WeightedF1 <= 0 || res.WeightedF1 > 1 {
+		t.Errorf("CV F1 = %v", res.WeightedF1)
+	}
+}
+
+func TestRepeatedCV(t *testing.T) {
+	d := linearData(150, 18)
+	rng := rand.New(rand.NewSource(2))
+	res, err := RepeatedCV(func() Classifier {
+		return &DecisionTree{MaxDepth: 5}
+	}, d, 3, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.8 {
+		t.Errorf("repeated CV accuracy = %v", res.Accuracy)
+	}
+}
+
+func TestPredictionsInLabelSet(t *testing.T) {
+	d := threeClassData(120, 19)
+	models := []Classifier{
+		&DecisionTree{MaxDepth: 5},
+		&RandomForest{NumTrees: 8, Seed: 1},
+		&SVM{Kernel: LinearKernel, Seed: 1},
+		&NeuralNet{Epochs: 20, Seed: 1},
+	}
+	for _, m := range models {
+		if err := m.Fit(d); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		f := func(a, b float64) bool {
+			if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 100 || math.Abs(b) > 100 {
+				return true
+			}
+			p := m.Predict([]float64{a, b})
+			return p >= 0 && p < 3
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestUnfittedPredict(t *testing.T) {
+	// Unfitted models predict class 0 rather than panicking.
+	models := []Classifier{&DecisionTree{}, &RandomForest{}, &SVM{}, &NeuralNet{}}
+	for _, m := range models {
+		if got := m.Predict([]float64{1, 2}); got != 0 {
+			t.Errorf("%s unfitted Predict = %d", m.Name(), got)
+		}
+	}
+}
+
+func TestFitRejectsInvalid(t *testing.T) {
+	bad := &Dataset{X: [][]float64{{1}}, Y: []int{0, 1}}
+	models := []Classifier{&DecisionTree{}, &RandomForest{NumTrees: 2}, &SVM{}, &NeuralNet{Epochs: 1}}
+	for _, m := range models {
+		if err := m.Fit(bad); err == nil {
+			t.Errorf("%s accepted an invalid dataset", m.Name())
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NeuralNet is the paper's DNN model (§6.2): a fully connected network with
+// 4 dense layers — ReLU activation in the first three, sigmoid (binary) or
+// softmax (multi-class) in the last — with dropout after each hidden layer
+// to reduce overfitting. Training uses mini-batch Adam on cross-entropy
+// loss. Features are standardized internally.
+type NeuralNet struct {
+	// Hidden holds the three hidden layer widths (defaults 32/16/8).
+	Hidden [3]int
+	// Dropout is the drop probability after each hidden layer (default
+	// 0.2 when zero; set negative to disable).
+	Dropout float64
+	// Epochs is the number of training epochs (<=0 means 200).
+	Epochs int
+	// BatchSize is the mini-batch size (<=0 means 32).
+	BatchSize int
+	// LearningRate is Adam's step size (<=0 means 1e-3).
+	LearningRate float64
+	// Seed makes training deterministic.
+	Seed int64
+
+	scaler  *Scaler
+	weights [][][]float64 // weights[l][out][in]
+	biases  [][]float64   // biases[l][out]
+	outDim  int           // 1 for binary sigmoid, K for softmax
+	classes int
+}
+
+// Name implements Classifier.
+func (n *NeuralNet) Name() string { return "dnn" }
+
+// Fit implements Classifier.
+func (n *NeuralNet) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if n.Hidden == [3]int{} {
+		n.Hidden = [3]int{32, 16, 8}
+	}
+	if n.Dropout == 0 {
+		n.Dropout = 0.2
+	} else if n.Dropout < 0 {
+		n.Dropout = 0
+	}
+	if n.Epochs <= 0 {
+		n.Epochs = 200
+	}
+	if n.BatchSize <= 0 {
+		n.BatchSize = 32
+	}
+	if n.LearningRate <= 0 {
+		n.LearningRate = 1e-3
+	}
+	n.scaler = FitScaler(d)
+	scaled := n.scaler.ApplyAll(d)
+	n.classes = d.NumClasses()
+	if n.classes <= 2 {
+		n.outDim = 1
+	} else {
+		n.outDim = n.classes
+	}
+	dims := []int{d.NumFeatures(), n.Hidden[0], n.Hidden[1], n.Hidden[2], n.outDim}
+	rng := rand.New(rand.NewSource(n.Seed ^ 0xdeed))
+
+	// He initialization for the ReLU layers, Xavier for the output.
+	n.weights = make([][][]float64, len(dims)-1)
+	n.biases = make([][]float64, len(dims)-1)
+	for l := 0; l < len(dims)-1; l++ {
+		in, out := dims[l], dims[l+1]
+		scale := math.Sqrt(2 / float64(in))
+		if l == len(dims)-2 {
+			scale = math.Sqrt(1 / float64(in))
+		}
+		n.weights[l] = make([][]float64, out)
+		n.biases[l] = make([]float64, out)
+		for o := 0; o < out; o++ {
+			n.weights[l][o] = make([]float64, in)
+			for i := 0; i < in; i++ {
+				n.weights[l][o][i] = rng.NormFloat64() * scale
+			}
+		}
+	}
+
+	// Adam state.
+	mW, vW := zerosLike(n.weights), zerosLike(n.weights)
+	mB, vB := zerosLikeB(n.biases), zerosLikeB(n.biases)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+
+	order := make([]int, scaled.Len())
+	for i := range order {
+		order[i] = i
+	}
+	nLayers := len(n.weights)
+	for epoch := 0; epoch < n.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < len(order); start += n.BatchSize {
+			end := start + n.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			gW, gB := zerosLike(n.weights), zerosLikeB(n.biases)
+			for _, idx := range batch {
+				n.backprop(scaled.X[idx], scaled.Y[idx], gW, gB, rng)
+			}
+			step++
+			bs := float64(len(batch))
+			lr := n.LearningRate
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			for l := 0; l < nLayers; l++ {
+				for o := range n.weights[l] {
+					for i := range n.weights[l][o] {
+						g := gW[l][o][i] / bs
+						mW[l][o][i] = beta1*mW[l][o][i] + (1-beta1)*g
+						vW[l][o][i] = beta2*vW[l][o][i] + (1-beta2)*g*g
+						n.weights[l][o][i] -= lr * (mW[l][o][i] / bc1) / (math.Sqrt(vW[l][o][i]/bc2) + eps)
+					}
+					g := gB[l][o] / bs
+					mB[l][o] = beta1*mB[l][o] + (1-beta1)*g
+					vB[l][o] = beta2*vB[l][o] + (1-beta2)*g*g
+					n.biases[l][o] -= lr * (mB[l][o] / bc1) / (math.Sqrt(vB[l][o]/bc2) + eps)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func zerosLike(w [][][]float64) [][][]float64 {
+	out := make([][][]float64, len(w))
+	for l := range w {
+		out[l] = make([][]float64, len(w[l]))
+		for o := range w[l] {
+			out[l][o] = make([]float64, len(w[l][o]))
+		}
+	}
+	return out
+}
+
+func zerosLikeB(b [][]float64) [][]float64 {
+	out := make([][]float64, len(b))
+	for l := range b {
+		out[l] = make([]float64, len(b[l]))
+	}
+	return out
+}
+
+// backprop accumulates gradients for one sample into gW/gB, applying
+// inverted dropout on hidden activations during training.
+func (n *NeuralNet) backprop(x []float64, label int, gW [][][]float64, gB [][]float64, rng *rand.Rand) {
+	nLayers := len(n.weights)
+	acts := make([][]float64, nLayers+1) // post-activation per layer
+	masks := make([][]float64, nLayers)  // dropout masks for hidden layers
+	acts[0] = x
+	for l := 0; l < nLayers; l++ {
+		in := acts[l]
+		out := make([]float64, len(n.weights[l]))
+		for o := range n.weights[l] {
+			s := n.biases[l][o]
+			w := n.weights[l][o]
+			for i := range w {
+				s += w[i] * in[i]
+			}
+			out[o] = s
+		}
+		if l < nLayers-1 {
+			// ReLU + inverted dropout.
+			mask := make([]float64, len(out))
+			keep := 1 - n.Dropout
+			for o := range out {
+				if out[o] < 0 {
+					out[o] = 0
+				}
+				m := 1.0
+				if n.Dropout > 0 {
+					if rng.Float64() < n.Dropout {
+						m = 0
+					} else {
+						m = 1 / keep
+					}
+				}
+				mask[o] = m
+				out[o] *= m
+			}
+			masks[l] = mask
+		} else if n.outDim == 1 {
+			out[0] = sigmoid(out[0])
+		} else {
+			softmaxInPlace(out)
+		}
+		acts[l+1] = out
+	}
+
+	// Output delta for cross-entropy with sigmoid/softmax: p - y.
+	last := acts[nLayers]
+	delta := make([]float64, len(last))
+	if n.outDim == 1 {
+		t := 0.0
+		if label == 1 {
+			t = 1
+		}
+		delta[0] = last[0] - t
+	} else {
+		copy(delta, last)
+		if label < len(delta) {
+			delta[label] -= 1
+		}
+	}
+
+	for l := nLayers - 1; l >= 0; l-- {
+		in := acts[l]
+		for o := range n.weights[l] {
+			gB[l][o] += delta[o]
+			w := n.weights[l][o]
+			for i := range w {
+				gW[l][o][i] += delta[o] * in[i]
+			}
+		}
+		if l == 0 {
+			break
+		}
+		prev := make([]float64, len(acts[l]))
+		for i := range prev {
+			// acts[l][i] > 0 implies both relu'(z)=1 and mask>0; in every
+			// other case the gradient through this unit is zero.
+			if acts[l][i] <= 0 {
+				continue
+			}
+			var s float64
+			for o := range n.weights[l] {
+				s += n.weights[l][o][i] * delta[o]
+			}
+			prev[i] = s * masks[l-1][i]
+		}
+		delta = prev
+	}
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func softmaxInPlace(v []float64) {
+	maxV := math.Inf(-1)
+	for _, x := range v {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var sum float64
+	for i := range v {
+		v[i] = math.Exp(v[i] - maxV)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// forward runs inference (no dropout).
+func (n *NeuralNet) forward(x []float64) []float64 {
+	act := x
+	nLayers := len(n.weights)
+	for l := 0; l < nLayers; l++ {
+		out := make([]float64, len(n.weights[l]))
+		for o := range n.weights[l] {
+			s := n.biases[l][o]
+			w := n.weights[l][o]
+			for i := range w {
+				s += w[i] * act[i]
+			}
+			if l < nLayers-1 && s < 0 {
+				s = 0
+			}
+			out[o] = s
+		}
+		if l == nLayers-1 {
+			if n.outDim == 1 {
+				out[0] = sigmoid(out[0])
+			} else {
+				softmaxInPlace(out)
+			}
+		}
+		act = out
+	}
+	return act
+}
+
+// Predict implements Classifier.
+func (n *NeuralNet) Predict(x []float64) int {
+	if n.scaler == nil {
+		return 0
+	}
+	p := n.forward(n.scaler.Apply(x))
+	if n.outDim == 1 {
+		if p[0] >= 0.5 {
+			return 1
+		}
+		return 0
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range p {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

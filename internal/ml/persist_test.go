@@ -1,0 +1,68 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestForestRoundTrip(t *testing.T) {
+	d := threeClassData(240, 31)
+	rf := &RandomForest{NumTrees: 12, MaxDepth: 6, Seed: 1}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rf.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadForestJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on training data and on a probe grid.
+	for i := range d.X {
+		if rf.Predict(d.X[i]) != got.Predict(d.X[i]) {
+			t.Fatalf("prediction diverged on row %d", i)
+		}
+	}
+	for x := -2.0; x < 8; x += 0.7 {
+		for y := -2.0; y < 8; y += 0.7 {
+			p := []float64{x, y}
+			if rf.Predict(p) != got.Predict(p) {
+				t.Fatalf("prediction diverged at (%v,%v)", x, y)
+			}
+		}
+	}
+	// Importances preserved.
+	a, b := rf.GiniImportance(), got.GiniImportance()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("importances changed")
+		}
+	}
+}
+
+func TestWriteUnfitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&RandomForest{}).WriteJSON(&buf); err != ErrNotFitted {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReadForestRejects(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version":9}`,
+		`{"version":1,"num_classes":1,"trees":[]}`,
+		`{"version":1,"num_classes":2,"trees":[]}`,
+		`{"version":1,"num_classes":2,"trees":[{"nodes":[]}]}`,
+		`{"version":1,"num_classes":2,"trees":[{"nodes":[{"leaf":false,"left":0,"right":0}]}]}`,
+		`{"version":1,"num_classes":2,"trees":[{"nodes":[{"leaf":false,"left":5,"right":6}]}]}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadForestJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}

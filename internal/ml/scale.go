@@ -1,0 +1,63 @@
+package ml
+
+import "math"
+
+// Scaler standardizes features to zero mean and unit variance. SVM and
+// neural-network training require comparable feature scales; trees do not.
+type Scaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler computes per-feature means and standard deviations.
+func FitScaler(d *Dataset) *Scaler {
+	nf := d.NumFeatures()
+	s := &Scaler{Mean: make([]float64, nf), Std: make([]float64, nf)}
+	n := float64(d.Len())
+	if n == 0 {
+		return s
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply returns the standardized copy of x.
+func (s *Scaler) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll returns a standardized copy of the dataset (labels shared).
+func (s *Scaler) ApplyAll(d *Dataset) *Dataset {
+	out := &Dataset{
+		X:            make([][]float64, d.Len()),
+		Y:            d.Y,
+		FeatureNames: d.FeatureNames,
+		ClassNames:   d.ClassNames,
+	}
+	for i, row := range d.X {
+		out.X[i] = s.Apply(row)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Kernel selects the SVM kernel. The paper tries "both linear and non-linear
+// classification metrics and different regularization parameters" (§6.2).
+type Kernel int
+
+// Supported kernels.
+const (
+	LinearKernel Kernel = iota
+	RBFKernel
+)
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	if k == RBFKernel {
+		return "rbf"
+	}
+	return "linear"
+}
+
+// SVM is a support vector machine classifier. Binary problems are solved
+// with a simplified SMO solver; multi-class problems use one-vs-rest.
+// Features are standardized internally.
+type SVM struct {
+	// C is the regularization parameter (<=0 means 1).
+	C float64
+	// Kernel selects linear or RBF.
+	Kernel Kernel
+	// Gamma is the RBF width (<=0 means 1/#features).
+	Gamma float64
+	// MaxPasses bounds SMO passes without alpha changes (<=0 means 5).
+	MaxPasses int
+	// Tol is the KKT tolerance (<=0 means 1e-3).
+	Tol float64
+	// Seed makes training deterministic.
+	Seed int64
+
+	scaler     *Scaler
+	machines   []*binarySVM // one per class (one-vs-rest); single for binary
+	numClasses int
+}
+
+// binarySVM holds one fitted two-class machine with labels in {-1,+1}.
+type binarySVM struct {
+	alphaY []float64 // alpha_i * y_i for support vectors
+	sv     [][]float64
+	b      float64
+	kernel Kernel
+	gamma  float64
+}
+
+func (m *binarySVM) kernelFn(a, b []float64) float64 {
+	switch m.kernel {
+	case RBFKernel:
+		var d float64
+		for i := range a {
+			t := a[i] - b[i]
+			d += t * t
+		}
+		return math.Exp(-m.gamma * d)
+	default:
+		var s float64
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+}
+
+// decision returns the signed decision value for x.
+func (m *binarySVM) decision(x []float64) float64 {
+	s := m.b
+	for i, v := range m.sv {
+		s += m.alphaY[i] * m.kernelFn(v, x)
+	}
+	return s
+}
+
+// Name implements Classifier.
+func (s *SVM) Name() string { return "svm-" + s.Kernel.String() }
+
+// Fit implements Classifier.
+func (s *SVM) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if s.C <= 0 {
+		s.C = 1
+	}
+	if s.MaxPasses <= 0 {
+		s.MaxPasses = 5
+	}
+	if s.Tol <= 0 {
+		s.Tol = 1e-3
+	}
+	gamma := s.Gamma
+	if gamma <= 0 {
+		gamma = 1 / float64(d.NumFeatures())
+	}
+	s.scaler = FitScaler(d)
+	scaled := s.scaler.ApplyAll(d)
+	s.numClasses = d.NumClasses()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x53f6))
+
+	if s.numClasses <= 2 {
+		y := make([]float64, scaled.Len())
+		for i, label := range scaled.Y {
+			if label == 1 {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		s.machines = []*binarySVM{s.trainBinary(scaled.X, y, gamma, rng)}
+		return nil
+	}
+	s.machines = make([]*binarySVM, s.numClasses)
+	for c := 0; c < s.numClasses; c++ {
+		y := make([]float64, scaled.Len())
+		for i, label := range scaled.Y {
+			if label == c {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		s.machines[c] = s.trainBinary(scaled.X, y, gamma, rng)
+	}
+	return nil
+}
+
+// trainBinary runs simplified SMO (Platt 1998 / Stanford CS229 variant).
+func (s *SVM) trainBinary(x [][]float64, y []float64, gamma float64, rng *rand.Rand) *binarySVM {
+	n := len(x)
+	m := &binarySVM{kernel: s.Kernel, gamma: gamma}
+	alpha := make([]float64, n)
+	b := 0.0
+
+	// Precompute the kernel matrix (datasets here are <= a few thousand
+	// samples).
+	k := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := m.kernelFn(x[i], x[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+	f := func(i int) float64 {
+		s := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * y[j] * k[i][j]
+			}
+		}
+		return s
+	}
+
+	passes := 0
+	for passes < s.MaxPasses {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if (y[i]*ei < -s.Tol && alpha[i] < s.C) || (y[i]*ei > s.Tol && alpha[i] > 0) {
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				ej := f(j) - y[j]
+				ai, aj := alpha[i], alpha[j]
+				var lo, hi float64
+				if y[i] != y[j] {
+					lo = math.Max(0, aj-ai)
+					hi = math.Min(s.C, s.C+aj-ai)
+				} else {
+					lo = math.Max(0, ai+aj-s.C)
+					hi = math.Min(s.C, ai+aj)
+				}
+				if lo == hi {
+					continue
+				}
+				eta := 2*k[i][j] - k[i][i] - k[j][j]
+				if eta >= 0 {
+					continue
+				}
+				alpha[j] = aj - y[j]*(ei-ej)/eta
+				if alpha[j] > hi {
+					alpha[j] = hi
+				} else if alpha[j] < lo {
+					alpha[j] = lo
+				}
+				if math.Abs(alpha[j]-aj) < 1e-5 {
+					continue
+				}
+				alpha[i] = ai + y[i]*y[j]*(aj-alpha[j])
+				b1 := b - ei - y[i]*(alpha[i]-ai)*k[i][i] - y[j]*(alpha[j]-aj)*k[i][j]
+				b2 := b - ej - y[i]*(alpha[i]-ai)*k[i][j] - y[j]*(alpha[j]-aj)*k[j][j]
+				switch {
+				case alpha[i] > 0 && alpha[i] < s.C:
+					b = b1
+				case alpha[j] > 0 && alpha[j] < s.C:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-8 {
+			m.alphaY = append(m.alphaY, alpha[i]*y[i])
+			m.sv = append(m.sv, x[i])
+		}
+	}
+	m.b = b
+	return m
+}
+
+// Predict implements Classifier.
+func (s *SVM) Predict(x []float64) int {
+	if len(s.machines) == 0 {
+		return 0
+	}
+	xs := s.scaler.Apply(x)
+	if s.numClasses <= 2 {
+		if s.machines[0].decision(xs) >= 0 {
+			return 1
+		}
+		return 0
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c, m := range s.machines {
+		if v := m.decision(xs); v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,284 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Criterion selects the impurity measure used to grow trees. The paper tries
+// both Gini index and entropy (§6.2).
+type Criterion int
+
+// Supported impurity criteria.
+const (
+	Gini Criterion = iota
+	Entropy
+)
+
+// String returns the criterion name.
+func (c Criterion) String() string {
+	if c == Entropy {
+		return "entropy"
+	}
+	return "gini"
+}
+
+// impurity computes the criterion value from class counts.
+func (c Criterion) impurity(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	switch c {
+	case Entropy:
+		var h float64
+		for _, n := range counts {
+			if n == 0 {
+				continue
+			}
+			p := float64(n) / float64(total)
+			h -= p * math.Log2(p)
+		}
+		return h
+	default:
+		g := 1.0
+		for _, n := range counts {
+			p := float64(n) / float64(total)
+			g -= p * p
+		}
+		return g
+	}
+}
+
+// treeNode is one node of a fitted decision tree.
+type treeNode struct {
+	// leaf fields
+	isLeaf bool
+	class  int
+	// split fields
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+// DecisionTree is a CART-style binary classification tree with bounded depth
+// (the paper limits depth to reduce overfitting).
+type DecisionTree struct {
+	// MaxDepth bounds tree depth (<=0 means 8).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (<=0 means 2).
+	MinLeaf int
+	// Criterion is the impurity measure.
+	Criterion Criterion
+	// MaxFeatures limits the number of features considered per split
+	// (<=0 means all). Random forests set this to sqrt(#features).
+	MaxFeatures int
+	// Rng shuffles feature candidate order; nil means deterministic
+	// full-feature scan.
+	Rng *rand.Rand
+
+	root       *treeNode
+	importance []float64
+	nFeatures  int
+	nSamples   int
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "decision-tree" }
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if t.MaxDepth <= 0 {
+		t.MaxDepth = 8
+	}
+	if t.MinLeaf <= 0 {
+		t.MinLeaf = 2
+	}
+	t.nFeatures = d.NumFeatures()
+	t.nSamples = d.Len()
+	t.importance = make([]float64, t.nFeatures)
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	nc := d.NumClasses()
+	if nc < 2 {
+		nc = 2
+	}
+	t.root = t.build(d, idx, 0, nc)
+	return nil
+}
+
+// majority returns the most frequent class among idx.
+func majority(d *Dataset, idx []int, numClasses int) int {
+	counts := make([]int, numClasses)
+	for _, i := range idx {
+		counts[d.Y[i]]++
+	}
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+func classCounts(d *Dataset, idx []int, numClasses int) []int {
+	counts := make([]int, numClasses)
+	for _, i := range idx {
+		counts[d.Y[i]]++
+	}
+	return counts
+}
+
+func pure(counts []int) bool {
+	nonzero := 0
+	for _, n := range counts {
+		if n > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// build grows the tree recursively.
+func (t *DecisionTree) build(d *Dataset, idx []int, depth, numClasses int) *treeNode {
+	counts := classCounts(d, idx, numClasses)
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf || pure(counts) {
+		return &treeNode{isLeaf: true, class: majority(d, idx, numClasses)}
+	}
+	feat, thr, gain, ok := t.bestSplit(d, idx, counts, numClasses)
+	if !ok {
+		return &treeNode{isLeaf: true, class: majority(d, idx, numClasses)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.MinLeaf || len(right) < t.MinLeaf {
+		return &treeNode{isLeaf: true, class: majority(d, idx, numClasses)}
+	}
+	// Weighted impurity decrease contributes to Gini importance.
+	t.importance[feat] += gain * float64(len(idx)) / float64(t.nSamples)
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      t.build(d, left, depth+1, numClasses),
+		right:     t.build(d, right, depth+1, numClasses),
+	}
+}
+
+// bestSplit finds the (feature, threshold) pair with maximal impurity
+// decrease via a single sorted scan per feature.
+func (t *DecisionTree) bestSplit(d *Dataset, idx []int, parentCounts []int, numClasses int) (feat int, thr, gain float64, ok bool) {
+	n := len(idx)
+	parentImp := t.Criterion.impurity(parentCounts, n)
+
+	features := make([]int, t.nFeatures)
+	for f := range features {
+		features[f] = f
+	}
+	if t.Rng != nil {
+		t.Rng.Shuffle(len(features), func(a, b int) { features[a], features[b] = features[b], features[a] })
+	}
+	limit := len(features)
+	if t.MaxFeatures > 0 && t.MaxFeatures < limit {
+		limit = t.MaxFeatures
+	}
+
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, n)
+	leftCounts := make([]int, numClasses)
+	rightCounts := make([]int, numClasses)
+
+	bestGain := 1e-12
+	found := false
+	for _, f := range features[:limit] {
+		for k, i := range idx {
+			vals[k] = fv{v: d.X[i][f], y: d.Y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		copy(rightCounts, parentCounts)
+		for k := 0; k < n-1; k++ {
+			leftCounts[vals[k].y]++
+			rightCounts[vals[k].y]--
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			nl, nr := k+1, n-k-1
+			if nl < t.MinLeaf || nr < t.MinLeaf {
+				continue
+			}
+			imp := (float64(nl)*t.Criterion.impurity(leftCounts, nl) +
+				float64(nr)*t.Criterion.impurity(rightCounts, nr)) / float64(n)
+			g := parentImp - imp
+			if g > bestGain {
+				bestGain = g
+				feat = f
+				thr = (vals[k].v + vals[k+1].v) / 2
+				found = true
+			}
+		}
+	}
+	if !found {
+		return 0, 0, 0, false
+	}
+	return feat, thr, bestGain, true
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.isLeaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Importance returns the (unnormalized) total impurity decrease attributed
+// to each feature during fitting.
+func (t *DecisionTree) Importance() []float64 {
+	out := make([]float64, len(t.importance))
+	copy(out, t.importance)
+	return out
+}
+
+// Depth returns the depth of the fitted tree (0 for a single leaf).
+func (t *DecisionTree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.isLeaf {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// ErrNotFitted is returned by operations requiring a fitted model.
+var ErrNotFitted = errors.New("ml: model not fitted")

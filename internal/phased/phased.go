@@ -1,0 +1,219 @@
+// Package phased models the user-configurable phased antenna arrays of the
+// X60 testbed (SiBeam 24-element module, 12 Tx + 12 Rx elements). The
+// reference codebook defines 25 beam patterns whose main lobes are spaced
+// roughly 5 degrees apart, spanning about 120 degrees in azimuth (-60 to +60
+// degrees), with 3 dB beamwidths between 25 and 35 degrees. Like the patterns
+// measured on COTS 60 GHz hardware, each beam features large side lobes in
+// addition to the central main lobe; the side lobes are what occasionally
+// make an indirect reflected path outperform the direct one (paper §3,
+// Fig. 3c).
+package phased
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/libra-wlan/libra/internal/geom"
+)
+
+// Codebook parameters mirroring the SiBeam reference codebook (paper §4.1).
+const (
+	// NumBeams is the number of steerable beam patterns per array.
+	NumBeams = 25
+	// BeamSpacingDeg is the main-lobe spacing between adjacent beams.
+	BeamSpacingDeg = 5.0
+	// MinSteerDeg and MaxSteerDeg bound the azimuth span of the codebook.
+	MinSteerDeg = -60.0
+	MaxSteerDeg = 60.0
+	// QuasiOmniID is the pseudo-beam index representing quasi-omni
+	// reception/transmission (used by 802.11ad-style sector sweeps).
+	QuasiOmniID = -1
+)
+
+// sideLobe describes one discrete side lobe of a beam pattern.
+type sideLobe struct {
+	offsetDeg float64 // angular offset of the lobe peak from boresight
+	levelDB   float64 // lobe peak gain relative to main-lobe peak (negative)
+	widthDeg  float64 // 3 dB width of the lobe
+}
+
+// Beam is a single entry in the codebook: a main lobe plus a deterministic
+// set of imperfect side lobes.
+type Beam struct {
+	// ID is the beam (sector) index in [0, NumBeams).
+	ID int
+	// BoresightDeg is the steering angle of the main lobe, relative to the
+	// array's mechanical orientation.
+	BoresightDeg float64
+	// Beamwidth3dBDeg is the 3 dB width of the main lobe.
+	Beamwidth3dBDeg float64
+	// PeakGainDBi is the boresight gain.
+	PeakGainDBi float64
+	// FloorDBi is the gain floor outside all lobes (back/ambient radiation).
+	FloorDBi float64
+
+	lobes []sideLobe
+}
+
+// GainDBi returns the beam gain in dBi toward a direction offset by thetaDeg
+// degrees from the array's mechanical boresight (i.e. in array-local
+// coordinates). The pattern is the max over the main lobe, the side lobes,
+// and the floor.
+func (b *Beam) GainDBi(thetaDeg float64) float64 {
+	g := lobeGain(thetaDeg, b.BoresightDeg, b.PeakGainDBi, b.Beamwidth3dBDeg)
+	for _, sl := range b.lobes {
+		lg := lobeGain(thetaDeg, b.BoresightDeg+sl.offsetDeg, b.PeakGainDBi+sl.levelDB, sl.widthDeg)
+		if lg > g {
+			g = lg
+		}
+	}
+	if g < b.FloorDBi {
+		g = b.FloorDBi
+	}
+	return g
+}
+
+// lobeGain evaluates a parabolic (in dB) lobe: peak - 12*(delta/width)^2,
+// the standard 3GPP-style antenna pattern approximation. The quadratic gives
+// exactly -3 dB at delta = width/2.
+func lobeGain(thetaDeg, centerDeg, peakDB, width3dBDeg float64) float64 {
+	d := angDiffDeg(thetaDeg, centerDeg)
+	return peakDB - 12*(d/width3dBDeg)*(d/width3dBDeg)
+}
+
+// angDiffDeg returns the absolute angular difference in degrees, wrapped to
+// [0, 180].
+func angDiffDeg(a, b float64) float64 {
+	d := math.Mod(a-b, 360)
+	if d < -180 {
+		d += 360
+	} else if d > 180 {
+		d -= 360
+	}
+	return math.Abs(d)
+}
+
+// Array is a phased antenna array with a position, a mechanical orientation,
+// and a codebook of beams.
+type Array struct {
+	// Pos is the array position in world coordinates (meters).
+	Pos geom.Vec
+	// OrientDeg is the mechanical boresight direction in world degrees
+	// (0 = +X axis).
+	OrientDeg float64
+	// Beams is the codebook.
+	Beams []*Beam
+	// QuasiOmniGainDBi is the flat gain used in quasi-omni mode.
+	QuasiOmniGainDBi float64
+}
+
+// NewArray builds an array with the reference 25-beam codebook. The seed
+// perturbs side-lobe placement deterministically so that distinct devices
+// have distinct, imperfect patterns (as real SiBeam/COTS arrays do).
+func NewArray(pos geom.Vec, orientDeg float64, seed int64) *Array {
+	a := &Array{
+		Pos:              pos,
+		OrientDeg:        orientDeg,
+		QuasiOmniGainDBi: 2, // near-omni element-level gain
+	}
+	a.Beams = make([]*Beam, NumBeams)
+	rng := splitmix(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	for i := 0; i < NumBeams; i++ {
+		bore := MinSteerDeg + BeamSpacingDeg*float64(i)
+		// Beamwidth widens toward the edges of the steering range, as
+		// phased arrays scan loss broadens the beam: 25 deg at broadside,
+		// 35 deg at +/-60 deg.
+		bw := 25 + 10*math.Abs(bore)/60
+		// Peak gain: ~15 dBi at broadside, dropping ~2 dB at the edges
+		// (scan loss).
+		peak := 15 - 2*math.Abs(bore)/60
+		b := &Beam{
+			ID:              i,
+			BoresightDeg:    bore,
+			Beamwidth3dBDeg: bw,
+			PeakGainDBi:     peak,
+			FloorDBi:        peak - 25,
+		}
+		// Two to three deterministic side lobes per beam.
+		nl := 2 + int(rng()%2)
+		for k := 0; k < nl; k++ {
+			sign := 1.0
+			if rng()%2 == 0 {
+				sign = -1
+			}
+			off := sign * (35 + float64(rng()%700)/10) // 35..105 deg away
+			lvl := -(8 + float64(rng()%80)/10)         // -8..-16 dB
+			wid := 12 + float64(rng()%120)/10          // 12..24 deg wide
+			b.lobes = append(b.lobes, sideLobe{offsetDeg: off, levelDB: lvl, widthDeg: wid})
+		}
+		a.Beams[i] = b
+	}
+	return a
+}
+
+// splitmix returns a deterministic 64-bit PRNG (SplitMix64) for codebook
+// perturbation. It is intentionally independent of math/rand so that codebook
+// construction never interacts with simulation random streams.
+func splitmix(state uint64) func() uint64 {
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// GainDBi returns the array gain in dBi toward the world-coordinate direction
+// dir when using beam beamID. QuasiOmniID selects the quasi-omni pattern.
+func (a *Array) GainDBi(beamID int, dir geom.Vec) float64 {
+	worldDeg := geom.Deg(dir.Angle())
+	localDeg := worldDeg - a.OrientDeg
+	if beamID == QuasiOmniID {
+		return a.QuasiOmniGainDBi
+	}
+	if beamID < 0 || beamID >= len(a.Beams) {
+		return math.Inf(-1)
+	}
+	return a.Beams[beamID].GainDBi(localDeg)
+}
+
+// GainTowardDBi is a convenience wrapper that computes the gain toward a
+// world point.
+func (a *Array) GainTowardDBi(beamID int, p geom.Vec) float64 {
+	return a.GainDBi(beamID, p.Sub(a.Pos))
+}
+
+// BestBeamToward returns the beam whose boresight is closest to the
+// world-coordinate direction of p from the array.
+func (a *Array) BestBeamToward(p geom.Vec) int {
+	localDeg := geom.Deg(p.Sub(a.Pos).Angle()) - a.OrientDeg
+	best, bestD := 0, math.Inf(1)
+	for _, b := range a.Beams {
+		d := angDiffDeg(localDeg, b.BoresightDeg)
+		if d < bestD {
+			bestD = d
+			best = b.ID
+		}
+	}
+	return best
+}
+
+// Validate checks structural invariants of the codebook.
+func (a *Array) Validate() error {
+	if len(a.Beams) != NumBeams {
+		return fmt.Errorf("phased: codebook has %d beams, want %d", len(a.Beams), NumBeams)
+	}
+	for i, b := range a.Beams {
+		if b.ID != i {
+			return fmt.Errorf("phased: beam %d has ID %d", i, b.ID)
+		}
+		if b.Beamwidth3dBDeg < 25-1e-9 || b.Beamwidth3dBDeg > 35+1e-9 {
+			return fmt.Errorf("phased: beam %d beamwidth %.1f out of [25,35]", i, b.Beamwidth3dBDeg)
+		}
+		if b.BoresightDeg < MinSteerDeg-1e-9 || b.BoresightDeg > MaxSteerDeg+1e-9 {
+			return fmt.Errorf("phased: beam %d boresight %.1f out of range", i, b.BoresightDeg)
+		}
+	}
+	return nil
+}

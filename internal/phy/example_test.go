@@ -1,0 +1,31 @@
+package phy_test
+
+import (
+	"fmt"
+
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+func ExampleBestMCS() {
+	// At 20 dB the link supports 16QAM-1/2; at 9 dB only BPSK rates work.
+	for _, snr := range []float64{20, 9} {
+		m, th := phy.BestMCS(snr)
+		fmt.Printf("%v -> %.0f Mbps\n", m, th/1e6)
+	}
+	// Output:
+	// MCS6 (16QAM-1/2, 3170 Mbps) -> 2899 Mbps
+	// MCS1 (BPSK-1/2, 950 Mbps) -> 739 Mbps
+}
+
+func ExampleCDR() {
+	m := phy.MCS(4)
+	fmt.Printf("at requirement: %.2f, +3 dB: %.2f, -3 dB: %.2f\n",
+		phy.CDR(m, m.SNRReqDB()), phy.CDR(m, m.SNRReqDB()+3), phy.CDR(m, m.SNRReqDB()-3))
+	// Output: at requirement: 0.50, +3 dB: 1.00, -3 dB: 0.00
+}
+
+func ExampleIsWorking() {
+	// The paper's working-MCS rule: CDR > 10% AND throughput > 150 Mbps.
+	fmt.Println(phy.IsWorking(0.5, 500e6), phy.IsWorking(0.05, 500e6), phy.IsWorking(0.5, 100e6))
+	// Output: true false false
+}

@@ -1,0 +1,36 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/predict"
+)
+
+func ExampleMarkovPredictor() {
+	// A person crosses the line of sight on a fixed loop: the link
+	// alternates between needing a sweep and recovering on its own.
+	p := predict.NewMarkovPredictor(2)
+	pattern := []dataset.Action{dataset.ActBA, dataset.ActNA}
+	for i := 0; i < 20; i++ {
+		p.Observe(pattern[i%2])
+	}
+	next, conf := p.Predict()
+	fmt.Printf("next: %v (confidence %.0f%%)\n", next, conf*100)
+	// Output: next: BA (confidence 100%)
+}
+
+func ExampleAccuracy() {
+	// Online next-step accuracy over a period-2 pattern.
+	var seq []dataset.Action
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			seq = append(seq, dataset.ActBA)
+		} else {
+			seq = append(seq, dataset.ActRA)
+		}
+	}
+	acc, covered := predict.Accuracy(seq, 2)
+	fmt.Printf("accuracy %.0f%% over %.0f%% of events\n", acc*100, covered*100)
+	// Output: accuracy 100% over 92% of events
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/trace"
+)
+
+func testPools(t *testing.T) *trace.Pools {
+	t.Helper()
+	p := trace.NewPools(99)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTimelineBytesMatchRateProfile(t *testing.T) {
+	pools := testPools(t)
+	rng := rand.New(rand.NewSource(1))
+	tl := pools.RandomTimeline(trace.Mixed, rng)
+	res := RunTimeline(tl, stdParams(), BAFirst, nil)
+	var bytes float64
+	var dur time.Duration
+	for _, iv := range res.Rate {
+		bytes += iv.Bps * iv.Dur.Seconds() / 8
+		dur += iv.Dur
+	}
+	if math.Abs(bytes-res.Bytes) > 1 {
+		t.Errorf("profile bytes %v vs result %v", bytes, res.Bytes)
+	}
+	// The rate profile covers the timeline duration.
+	if d := tl.Duration(); dur < d-time.Millisecond || dur > d+time.Millisecond {
+		t.Errorf("profile duration %v vs timeline %v", dur, d)
+	}
+}
+
+func TestTimelineBreaksCounted(t *testing.T) {
+	pools := testPools(t)
+	rng := rand.New(rand.NewSource(2))
+	tl := pools.RandomTimeline(trace.Blockage, rng)
+	res := RunTimeline(tl, stdParams(), BAFirst, nil)
+	// Alternating clear/blocked segments must break the link repeatedly.
+	if res.Breaks < 2 {
+		t.Errorf("breaks = %d on a blockage timeline", res.Breaks)
+	}
+	if res.Breaks > 0 && res.TotalRecoveryDelay <= 0 {
+		t.Error("breaks recorded but no recovery delay")
+	}
+	if res.MeanRecoveryDelay() <= 0 {
+		t.Error("mean recovery delay not positive")
+	}
+}
+
+func TestTimelinePoliciesDiffer(t *testing.T) {
+	pools := testPools(t)
+	rng := rand.New(rand.NewSource(3))
+	p := Params{BAOverhead: 250 * time.Millisecond, FAT: 2 * time.Millisecond}
+	var baDelay, raDelay time.Duration
+	for i := 0; i < 10; i++ {
+		tl := pools.RandomTimeline(trace.Blockage, rng)
+		baDelay += RunTimeline(tl, p, BAFirst, nil).TotalRecoveryDelay
+		raDelay += RunTimeline(tl, p, RAFirst, nil).TotalRecoveryDelay
+	}
+	// With 250 ms sweeps, BA First must pay far more recovery delay than
+	// RA First when RA alone can restore the link... but under full
+	// blockage RA fails and pays both. Either way the totals must differ.
+	if baDelay == raDelay {
+		t.Error("policies produced identical delays across 10 timelines")
+	}
+}
+
+func TestTimelineOracleChoosesBetter(t *testing.T) {
+	pools := testPools(t)
+	rng := rand.New(rand.NewSource(4))
+	p := stdParams()
+	for i := 0; i < 5; i++ {
+		tl := pools.RandomTimeline(trace.Interference, rng)
+		oracle := RunTimeline(tl, p, OracleData, nil)
+		ba := RunTimeline(tl, p, BAFirst, nil)
+		ra := RunTimeline(tl, p, RAFirst, nil)
+		best := math.Max(ba.Bytes, ra.Bytes)
+		// The greedy per-break oracle is not globally optimal, but it must
+		// land in the neighborhood of the better fixed policy.
+		if oracle.Bytes < 0.95*best {
+			t.Errorf("timeline %d: oracle %v far below best policy %v", i, oracle.Bytes, best)
+		}
+	}
+}
+
+func TestTimelineLiBRAUsesClassifier(t *testing.T) {
+	pools := testPools(t)
+	rng := rand.New(rand.NewSource(5))
+	tl := pools.RandomTimeline(trace.Blockage, rng)
+	p := stdParams()
+	ba := RunTimeline(tl, p, LiBRA, fixedClassifier{dataset.ActBA})
+	want := RunTimeline(tl, p, BAFirst, nil)
+	if math.Abs(ba.Bytes-want.Bytes) > 1 {
+		t.Error("LiBRA with a BA-always classifier differs from BA First")
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	res := RunTimeline(&trace.Timeline{}, stdParams(), BAFirst, nil)
+	if res.Bytes != 0 || res.Breaks != 0 {
+		t.Error("empty timeline produced output")
+	}
+	if res.MeanRecoveryDelay() != 0 {
+		t.Error("empty timeline mean delay")
+	}
+}
+
+func TestTimelineNonNegativeRates(t *testing.T) {
+	pools := testPools(t)
+	rng := rand.New(rand.NewSource(6))
+	for _, kind := range trace.Kinds {
+		tl := pools.RandomTimeline(kind, rng)
+		res := RunTimeline(tl, stdParams(), LiBRA, fixedClassifier{dataset.ActRA})
+		for _, iv := range res.Rate {
+			if iv.Bps < 0 || iv.Dur < 0 {
+				t.Fatalf("%v: negative rate interval %+v", kind, iv)
+			}
+		}
+	}
+}
+
+func TestMotionTimelineDeliversData(t *testing.T) {
+	pools := testPools(t)
+	rng := rand.New(rand.NewSource(7))
+	tl := pools.RandomTimeline(trace.Motion, rng)
+	res := RunTimeline(tl, stdParams(), BAFirst, nil)
+	// A walking client in the lobby stays connected most of the time.
+	avg := res.Bytes * 8 / tl.Duration().Seconds()
+	if avg < 100e6 {
+		t.Errorf("motion average throughput = %v Mbps", avg/1e6)
+	}
+}

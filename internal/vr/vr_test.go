@@ -1,0 +1,166 @@
+package vr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/sim"
+)
+
+func TestVikingVillageShape(t *testing.T) {
+	ft := VikingVillage(30*time.Second, 1)
+	if ft.FPS != 60 {
+		t.Errorf("FPS = %d", ft.FPS)
+	}
+	if len(ft.Sizes) != 1800 {
+		t.Errorf("frames = %d", len(ft.Sizes))
+	}
+	if d := ft.Duration(); d != 30*time.Second {
+		t.Errorf("duration = %v", d)
+	}
+	// Average demand is ~0.8-1.2 Gbps (paper: "no more than 1.2 Gbps").
+	avg := ft.TotalBytes() * 8 / 30
+	if avg < 0.7e9 || avg > 1.3e9 {
+		t.Errorf("average demand = %v Gbps", avg/1e9)
+	}
+	for i, s := range ft.Sizes {
+		if s <= 0 {
+			t.Fatalf("frame %d size %v", i, s)
+		}
+	}
+}
+
+func TestVikingVillageDeterministic(t *testing.T) {
+	a := VikingVillage(5*time.Second, 3)
+	b := VikingVillage(5*time.Second, 3)
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatal("same seed, different trace")
+		}
+	}
+}
+
+func constRate(bps float64, dur time.Duration) []sim.RateInterval {
+	return []sim.RateInterval{{Dur: dur, Bps: bps}}
+}
+
+func TestPlayAmpleBandwidth(t *testing.T) {
+	ft := VikingVillage(10*time.Second, 2)
+	res := Play(ft, constRate(10e9, 11*time.Second), 100*time.Millisecond)
+	if res.Stalls != 0 || res.TotalStall != 0 {
+		t.Errorf("ample bandwidth stalled: %+v", res)
+	}
+}
+
+func TestPlayInsufficientBandwidth(t *testing.T) {
+	ft := VikingVillage(5*time.Second, 2)
+	// Half the required rate: playback must stall heavily.
+	res := Play(ft, constRate(0.5e9, 20*time.Second), 100*time.Millisecond)
+	if res.Stalls == 0 {
+		t.Error("starved playback did not stall")
+	}
+	if res.AvgStall() <= 0 {
+		t.Error("no stall duration accumulated")
+	}
+}
+
+func TestPlayDeadAirStalls(t *testing.T) {
+	ft := VikingVillage(2*time.Second, 2)
+	// The link barely keeps up before the outage, so no buffer builds up
+	// to absorb it.
+	rate := []sim.RateInterval{
+		{Dur: 500 * time.Millisecond, Bps: 1.05e9},
+		{Dur: 400 * time.Millisecond, Bps: 0}, // a 400 ms outage
+		{Dur: 3 * time.Second, Bps: 2e9},
+	}
+	res := Play(ft, rate, 50*time.Millisecond)
+	if res.Stalls == 0 {
+		t.Error("outage did not stall playback")
+	}
+	// The outage is 400 ms; total stall cannot exceed it by much.
+	if res.TotalStall > 600*time.Millisecond {
+		t.Errorf("total stall %v for a 400 ms outage", res.TotalStall)
+	}
+}
+
+func TestPlayExactArithmetic(t *testing.T) {
+	// 10 frames of exactly 1 MB at 60 FPS over an 8 MB/s link: each frame
+	// takes 125 ms to deliver but plays every 16.7 ms: playback stalls on
+	// every frame after the startup window.
+	ft := FrameTrace{FPS: 60, Sizes: make([]float64, 10)}
+	for i := range ft.Sizes {
+		ft.Sizes[i] = 1e6
+	}
+	res := Play(ft, constRate(64e6, time.Minute), 0)
+	if res.Stalls != 10 {
+		t.Errorf("stalls = %d, want 10 (every frame late)", res.Stalls)
+	}
+	// Frame i arrives at (i+1)*125 ms; deadline is i*16.67+stalls... total
+	// stall = arrival(last) - 9 frame periods = 1.25s - 150ms.
+	want := 1250*time.Millisecond - 9*(time.Second/60) - 0*time.Millisecond
+	if diff := res.TotalStall - want; diff < -5*time.Millisecond || diff > 5*time.Millisecond {
+		t.Errorf("total stall = %v, want ~%v", res.TotalStall, want)
+	}
+}
+
+func TestPlayProfileExhausted(t *testing.T) {
+	ft := VikingVillage(10*time.Second, 2)
+	// Only 1 second of link time for a 10 s video.
+	res := Play(ft, constRate(1.5e9, time.Second), 0)
+	if res.Stalls == 0 {
+		t.Error("exhausted profile must register a terminal stall")
+	}
+}
+
+func TestPlayEmpty(t *testing.T) {
+	if res := Play(FrameTrace{}, nil, 0); res.Stalls != 0 {
+		t.Error("empty trace stalled")
+	}
+}
+
+func TestAvgStall(t *testing.T) {
+	r := PlaybackResult{Stalls: 4, TotalStall: 80 * time.Millisecond}
+	if r.AvgStall() != 20*time.Millisecond {
+		t.Errorf("AvgStall = %v", r.AvgStall())
+	}
+	if (PlaybackResult{}).AvgStall() != 0 {
+		t.Error("empty AvgStall")
+	}
+}
+
+func TestScale(t *testing.T) {
+	in := []sim.RateInterval{{Dur: time.Second, Bps: 1e9}}
+	out := Scale(in, COTSScale)
+	if math.Abs(out[0].Bps-1e9*2400/4750) > 1 {
+		t.Errorf("scaled = %v", out[0].Bps)
+	}
+	if out[0].Dur != time.Second {
+		t.Error("duration changed")
+	}
+	// Input untouched.
+	if in[0].Bps != 1e9 {
+		t.Error("scale mutated input")
+	}
+}
+
+func TestCOTSScaleValue(t *testing.T) {
+	// §8.4: X60 reaches 4.75 Gbps; COTS reach ~2.4 Gbps.
+	if math.Abs(COTSScale-2400.0/4750.0) > 1e-12 {
+		t.Errorf("COTSScale = %v", COTSScale)
+	}
+}
+
+func TestStartupAbsorbsJitter(t *testing.T) {
+	ft := FrameTrace{FPS: 60, Sizes: []float64{1e6, 1e6, 1e6}}
+	// 3 MB at 24 MB/s: all delivered within 125 ms.
+	rate := constRate(192e6, time.Second)
+	noBuffer := Play(ft, rate, 0)
+	buffered := Play(ft, rate, 200*time.Millisecond)
+	if buffered.Stalls >= noBuffer.Stalls && noBuffer.Stalls > 0 {
+		t.Errorf("startup buffering did not reduce stalls (%d vs %d)", buffered.Stalls, noBuffer.Stalls)
+	}
+	if buffered.Stalls != 0 {
+		t.Errorf("200 ms buffer should absorb all jitter, got %d stalls", buffered.Stalls)
+	}
+}

@@ -1,0 +1,73 @@
+package libra
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIEndToEnd exercises the exported surface exactly as the README
+// quickstart does: build a link, train LiBRA, break the link, decide, and
+// drive the online controller.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	camp := GenerateTestDataset(3) // smaller campaign keeps the test fast
+	clf, err := TrainClassifier(camp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := MediumCorridor()
+	tx := NewArray(V(0.5, 1.6), 0, 7)
+	rx := NewArray(V(8.5, 1.6), 180, 8)
+	link := NewLink(e, tx, rx)
+	if _, _, snr := link.BestPair(); snr < 5 {
+		t.Fatalf("link SNR = %v", snr)
+	}
+
+	st := NewStation(link, rand.New(rand.NewSource(9)))
+	ctrl := NewController(st, clf, DefaultConfig())
+	ctrl.Bootstrap()
+	bits := ctrl.Run(100)
+	if bits <= 0 {
+		t.Fatal("controller delivered nothing")
+	}
+
+	// Policy simulation over the campaign's entries.
+	p := Params{BAOverhead: 5 * time.Millisecond, FAT: 2 * time.Millisecond, FlowDur: time.Second}
+	var libra, oracle float64
+	for _, entry := range camp.Entries {
+		if entry.Label == ActNA {
+			continue
+		}
+		libra += RunEntry(entry, p, PolicyLiBRA, clf).Bytes
+		oracle += RunEntry(entry, p, PolicyOracleData, nil).Bytes
+	}
+	if libra <= 0 || oracle < libra {
+		t.Fatalf("bytes: libra=%v oracle=%v", libra, oracle)
+	}
+	if ratio := libra / oracle; ratio < 0.8 {
+		t.Errorf("LiBRA delivered only %.0f%% of oracle bytes", ratio*100)
+	}
+}
+
+// TestPublicTimelineAndVR exercises the multi-impairment and VR surfaces.
+func TestPublicTimelineAndVR(t *testing.T) {
+	camp := GenerateTestDataset(4)
+	clf, err := TrainClassifier(camp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := NewScenarioPools(11)
+	rng := rand.New(rand.NewSource(12))
+	tl := pools.RandomTimeline(0 /* Motion */, rng)
+	p := Params{BAOverhead: 5 * time.Millisecond, FAT: 2 * time.Millisecond}
+	res := RunTimeline(tl, p, PolicyLiBRA, clf)
+	if res.Bytes <= 0 {
+		t.Fatal("timeline delivered nothing")
+	}
+	scene := VikingVillage(2*time.Second, 5)
+	play := PlayVR(scene, res.Rate, 100*time.Millisecond)
+	if play.Stalls < 0 {
+		t.Fatal("negative stalls")
+	}
+}
