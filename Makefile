@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the full suite; the parallel campaign engine, sweep
+# fan-out, and cross-validation pool are exercised under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench records a dated BENCH_<date>.json snapshot of the paper-reproduction
+# benchmarks and diffs it against the previous snapshot (10% threshold).
+bench:
+	$(GO) run ./cmd/libra-bench -bench 'Table1|Table2|SectorSweep|ClassifierInference|PolicyEntry' -benchtime 1x
+
+# check is the pre-merge gate: static analysis plus the race-enabled suite.
+check: vet race

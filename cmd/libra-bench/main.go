@@ -1,0 +1,254 @@
+// Command libra-bench runs the repository's Benchmark* suite, records the
+// results as a dated JSON snapshot (BENCH_<date>.json), and compares them to
+// the most recent previous snapshot so performance regressions are caught
+// before they land.
+//
+// Usage:
+//
+//	libra-bench [-bench 'Table1|Table2'] [-benchtime 1x] [-pkg .]
+//	            [-dir .] [-threshold 0.10] [-strict]
+//
+// Every benchmark line is parsed into its full metric set (ns/op, B/op,
+// allocs/op, and any custom b.ReportMetric units such as acc%). For the
+// lower-is-better metrics (ns/op, B/op, allocs/op) a relative increase
+// beyond -threshold is reported as a regression and, with -strict, makes the
+// command exit non-zero. Custom metrics are tracked but not judged, since
+// their polarity is benchmark-specific.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the on-disk format of a BENCH_<date>.json file.
+type Snapshot struct {
+	// Date is the collection date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// GoVersion and GOMAXPROCS record the measurement conditions.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// BenchArgs is the go test invocation that produced the numbers.
+	BenchArgs string `json:"bench_args"`
+	// Results maps benchmark name (without the -N GOMAXPROCS suffix) to
+	// its parsed result.
+	Results map[string]Result `json:"results"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Iters is the b.N the values were averaged over.
+	Iters int `json:"iters"`
+	// Metrics maps unit ("ns/op", "B/op", "allocs/op", custom units) to
+	// the measured value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// lowerIsBetter lists the metrics libra-bench judges for regressions.
+var lowerIsBetter = []string{"ns/op", "B/op", "allocs/op"}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkTable1-4   5   244814282 ns/op   78117744 B/op   200197 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libra-bench: ")
+	bench := flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+	benchTime := flag.String("benchtime", "1x", "per-benchmark time or iteration count (go test -benchtime)")
+	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
+	dir := flag.String("dir", ".", "directory for BENCH_<date>.json snapshots")
+	threshold := flag.Float64("threshold", 0.10, "relative increase in a lower-is-better metric that counts as a regression")
+	strict := flag.Bool("strict", false, "exit non-zero when a regression is detected")
+	flag.Parse()
+
+	args := []string{"test", "-run=^$", "-bench=" + *bench, "-benchmem", "-benchtime=" + *benchTime, *pkg}
+	log.Printf("running: go %s", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		os.Stdout.Write(out.Bytes())
+		log.Fatalf("go test failed: %v", err)
+	}
+
+	snap := &Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchArgs:  strings.Join(args, " "),
+		Results:    map[string]Result{},
+	}
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		metrics, err := parseMetrics(m[3])
+		if err != nil {
+			log.Printf("skipping unparseable line %q: %v", line, err)
+			continue
+		}
+		snap.Results[m[1]] = Result{Iters: iters, Metrics: metrics}
+	}
+	if len(snap.Results) == 0 {
+		os.Stdout.Write(out.Bytes())
+		log.Fatal("no benchmark results parsed")
+	}
+
+	outPath := filepath.Join(*dir, "BENCH_"+snap.Date+".json")
+	prev, prevPath, err := latestSnapshot(*dir, outPath)
+	if err != nil {
+		log.Fatalf("reading previous snapshot: %v", err)
+	}
+
+	if err := writeSnapshot(outPath, snap); err != nil {
+		log.Fatalf("writing %s: %v", outPath, err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", outPath, len(snap.Results))
+
+	if prev == nil {
+		log.Print("no previous snapshot to compare against")
+		return
+	}
+	log.Printf("comparing against %s", prevPath)
+	regressions := compare(os.Stdout, prev, snap, *threshold)
+	if regressions > 0 {
+		log.Printf("%d regression(s) beyond %.0f%%", regressions, *threshold*100)
+		if *strict {
+			os.Exit(1)
+		}
+	} else {
+		log.Print("no regressions")
+	}
+}
+
+// parseMetrics splits the tail of a benchmark line into (value, unit) pairs.
+func parseMetrics(s string) (map[string]float64, error) {
+	fields := strings.Fields(s)
+	if len(fields)%2 != 0 {
+		return nil, fmt.Errorf("odd field count in %q", s)
+	}
+	out := make(map[string]float64, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", fields[i], err)
+		}
+		out[fields[i+1]] = v
+	}
+	return out, nil
+}
+
+// latestSnapshot loads the newest BENCH_*.json in dir other than exclude.
+func latestSnapshot(dir, exclude string) (*Snapshot, string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	sort.Strings(paths)
+	for i := len(paths) - 1; i >= 0; i-- {
+		if sameFile(paths[i], exclude) {
+			continue
+		}
+		data, err := os.ReadFile(paths[i])
+		if err != nil {
+			return nil, "", err
+		}
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, "", fmt.Errorf("%s: %v", paths[i], err)
+		}
+		return &s, paths[i], nil
+	}
+	return nil, "", nil
+}
+
+func sameFile(a, b string) bool {
+	return filepath.Clean(a) == filepath.Clean(b)
+}
+
+func writeSnapshot(path string, s *Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compare prints a per-benchmark delta table and returns the number of
+// lower-is-better metrics that regressed beyond threshold.
+func compare(w *os.File, prev, cur *Snapshot, threshold float64) int {
+	names := make([]string, 0, len(cur.Results))
+	for name := range cur.Results {
+		if _, ok := prev.Results[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		p, c := prev.Results[name], cur.Results[name]
+		units := make([]string, 0, len(c.Metrics))
+		for u := range c.Metrics {
+			if _, ok := p.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			pv, cv := p.Metrics[u], c.Metrics[u]
+			var delta float64
+			if pv != 0 {
+				delta = (cv - pv) / pv
+			}
+			tag := ""
+			if judged(u) {
+				switch {
+				case delta > threshold:
+					tag = "  REGRESSION"
+					regressions++
+				case delta < -threshold:
+					tag = "  improved"
+				}
+			}
+			fmt.Fprintf(w, "%-32s %12s %14.6g -> %14.6g  %+6.1f%%%s\n",
+				name, u, pv, cv, delta*100, tag)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(w, "no overlapping benchmarks between snapshots")
+	}
+	return regressions
+}
+
+func judged(unit string) bool {
+	for _, u := range lowerIsBetter {
+		if u == unit {
+			return true
+		}
+	}
+	return false
+}

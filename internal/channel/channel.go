@@ -151,10 +151,32 @@ type Link struct {
 	paths     []Path
 	pathsOK   bool
 	pathEpoch uint64
+	// geomEpoch advances only when the ray geometry changes (move, rotate,
+	// blockers). It keys the caches below that interferer changes must not
+	// evict: the Tx/Rx gain tables and the interferer path traces.
+	geomEpoch uint64
 
-	intfPaths   [][]Path
-	intfPathsOK bool
-	intfEpoch   uint64
+	intfPaths [][]Path
+	// intfPathsOK, intfGeomEpoch and intfPosKey validate intfPaths: the
+	// traces are reusable while the link geometry and the interferer
+	// positions are unchanged (EIRP or duty-cycle changes reuse them).
+	intfPathsOK   bool
+	intfGeomEpoch uint64
+	intfPosKey    []geom.Vec
+
+	// gains holds the per-geometry beam gain tables shared by Measure,
+	// Sweep and Snapshot (see ensureGains).
+	gains      gainTables
+	gainsOK    bool
+	gainsEpoch uint64
+
+	// noiseMw caches thermal+interference noise per Rx beam between
+	// epoch bumps (see noiseMwFor). Entries < 0 are not yet computed.
+	// noiseNF records the noise figure the vector was computed with.
+	noiseMw    []float64
+	noiseEpoch uint64
+	noiseNF    float64
+	noiseOK    bool
 }
 
 // NewLink creates a link between two arrays in an environment.
@@ -174,8 +196,8 @@ func NewLink(e *env.Environment, tx, rx *phased.Array) *Link {
 // rotating either endpoint, or after changing blockers.
 func (l *Link) Invalidate() {
 	l.pathsOK = false
-	l.intfPathsOK = false
 	l.pathEpoch++
+	l.geomEpoch++
 }
 
 // Epoch returns a counter that increments on every Invalidate, letting

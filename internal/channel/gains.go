@@ -1,0 +1,152 @@
+package channel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/libra-wlan/libra/internal/dsp"
+	"github.com/libra-wlan/libra/internal/phased"
+)
+
+// gainTables holds the per-geometry hot-path tables shared by Measure, Sweep
+// and Snapshot: linear antenna gains per beam per path on both ends, the
+// linear link-budget base per path, and the PDP delay anchor. Building them
+// costs O(NumBeams*paths) gain evaluations once per geometric state; every
+// subsequent Measure or Sweep at that state is pure multiply-adds.
+type gainTables struct {
+	// paths aliases the link's traced paths at build time.
+	paths []Path
+	// linBase[p] = linear(TxPower - ImplLoss - pathLoss).
+	linBase []float64
+	// txLin[b][p] and rxLin[b][p] are linear beam gains; row NumBeams is
+	// the quasi-omni pattern (see beamIndex).
+	txLin, rxLin [][]float64
+	// minDelayNs anchors the PDP at the earliest arriving path.
+	minDelayNs float64
+	// txPowerDBm and implLossDB record the link-budget scalars baked into
+	// linBase at build time; the cache revalidates against them so callers
+	// that set Link.TxPowerDBm or Link.ImplLossDB directly (as cots.Tune
+	// does) are never served a stale budget.
+	txPowerDBm, implLossDB float64
+}
+
+// ensureGains returns the gain tables for the current geometry and link
+// budget, rebuilding them when the geometry epoch advanced or the budget
+// fields changed. Rebuilds always allocate fresh slices so previously
+// handed-out rows (e.g. inside a Snapshot) stay valid.
+func (l *Link) ensureGains() *gainTables {
+	if l.gainsOK && l.gainsEpoch == l.geomEpoch &&
+		l.gains.txPowerDBm == l.TxPowerDBm && l.gains.implLossDB == l.ImplLossDB {
+		return &l.gains
+	}
+	paths := l.Paths()
+	np := len(paths)
+	nb := phased.NumBeams + 1 // +1 for quasi-omni
+
+	g := &l.gains
+	g.paths = paths
+	g.txPowerDBm = l.TxPowerDBm
+	g.implLossDB = l.ImplLossDB
+	g.linBase = make([]float64, np)
+	g.txLin = make([][]float64, nb)
+	g.rxLin = make([][]float64, nb)
+	for b := 0; b < nb; b++ {
+		g.txLin[b] = make([]float64, np)
+		g.rxLin[b] = make([]float64, np)
+	}
+	g.minDelayNs = math.Inf(1)
+
+	var dbBuf [phased.NumBeams]float64
+	for p, pa := range paths {
+		g.linBase[p] = dsp.Lin(l.TxPowerDBm - l.ImplLossDB - pa.LossDB)
+		if pa.DelayNs < g.minDelayNs {
+			g.minDelayNs = pa.DelayNs
+		}
+		qo := l.Tx.AllGainsDBi(pa.Depart, dbBuf[:])
+		for b := 0; b < phased.NumBeams; b++ {
+			g.txLin[b][p] = dsp.Lin(dbBuf[b])
+		}
+		g.txLin[phased.NumBeams][p] = dsp.Lin(qo)
+		qo = l.Rx.AllGainsDBi(pa.Arrive, dbBuf[:])
+		for b := 0; b < phased.NumBeams; b++ {
+			g.rxLin[b][p] = dsp.Lin(dbBuf[b])
+		}
+		g.rxLin[phased.NumBeams][p] = dsp.Lin(qo)
+	}
+
+	l.gainsOK = true
+	l.gainsEpoch = l.geomEpoch
+	return g
+}
+
+// row returns the gain row for a beam ID, or nil for an out-of-codebook ID
+// (whose gain is -Inf dBi, i.e. zero linear gain).
+func (g *gainTables) row(tab [][]float64, beamID int) []float64 {
+	if beamID == phased.QuasiOmniID {
+		return tab[phased.NumBeams]
+	}
+	if beamID < 0 || beamID >= phased.NumBeams {
+		return nil
+	}
+	return tab[beamID]
+}
+
+// noiseMwFor returns the cached noise power (thermal + co-channel
+// interference, mW) seen through an Rx beam. The per-beam vector is reused
+// until the epoch advances (Invalidate or SetInterferers) or the noise
+// figure changes, so repeated Measure calls between state changes do not
+// re-accumulate interference.
+func (l *Link) noiseMwFor(rxBeam int) float64 {
+	if !l.noiseOK || l.noiseEpoch != l.pathEpoch || l.noiseNF != l.NoiseFigureDB {
+		if l.noiseMw == nil {
+			l.noiseMw = make([]float64, phased.NumBeams+1)
+		}
+		for i := range l.noiseMw {
+			l.noiseMw[i] = -1
+		}
+		l.noiseOK = true
+		l.noiseEpoch = l.pathEpoch
+		l.noiseNF = l.NoiseFigureDB
+	}
+	i := beamIndex(rxBeam)
+	if i < 0 || i >= len(l.noiseMw) {
+		return dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB)) + l.interferenceMw(rxBeam)
+	}
+	if l.noiseMw[i] < 0 {
+		l.noiseMw[i] = dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB)) + l.interferenceMw(rxBeam)
+	}
+	return l.noiseMw[i]
+}
+
+// parallelRows runs fn(i) for every i in [0, n) across up to GOMAXPROCS
+// goroutines in contiguous blocks. The iterations must be independent; fn
+// must not touch shared mutable state.
+func parallelRows(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				fn(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}

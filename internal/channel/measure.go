@@ -2,6 +2,7 @@ package channel
 
 import (
 	"math"
+	"sync"
 
 	"github.com/libra-wlan/libra/internal/dsp"
 	"github.com/libra-wlan/libra/internal/geom"
@@ -43,45 +44,65 @@ type Measurement struct {
 // |H(f)| — the multipath fading pattern across the 2 GHz channel — rather
 // than a power spectrum.
 func (m *Measurement) CSI() []float64 {
-	amp := make([]float64, len(m.PDP))
+	return m.CSIInto(nil)
+}
+
+// ampPool recycles the tap-amplitude scratch of CSIInto.
+var ampPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// CSIInto computes the CSI estimate into dst, growing it only when its
+// capacity is insufficient, and returns dst re-sliced to the spectrum
+// length. Together with pooled FFT scratch this keeps the featurization hot
+// path allocation-free when the caller reuses dst across measurements.
+func (m *Measurement) CSIInto(dst []float64) []float64 {
+	ap := ampPool.Get().(*[]float64)
+	amp := *ap
+	if cap(amp) < len(m.PDP) {
+		amp = make([]float64, len(m.PDP))
+	}
+	amp = amp[:len(m.PDP)]
 	for i, p := range m.PDP {
 		if p > 0 {
 			amp[i] = math.Sqrt(p)
+		} else {
+			amp[i] = 0
 		}
 	}
-	return dsp.FFTReal(amp)
+	dst = dsp.FFTRealInto(dst, amp)
+	*ap = amp
+	ampPool.Put(ap)
+	return dst
 }
 
 // Measure computes the PHY observation for the given Tx and Rx beams.
 // Use phased.QuasiOmniID for quasi-omni operation on either side.
+//
+// Per-beam linear gains and the link-budget base are memoized per geometric
+// state (see ensureGains), so repeated measurements between Invalidate calls
+// cost O(paths) multiply-adds instead of O(paths) gain evaluations and
+// dB-to-linear conversions.
 func (l *Link) Measure(txBeam, rxBeam int) Measurement {
-	paths := l.Paths()
-	noiseMw := dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB)) + l.interferenceMw(rxBeam)
+	g := l.ensureGains()
+	txRow := g.row(g.txLin, txBeam)
+	rxRow := g.row(g.rxLin, rxBeam)
+	noiseMw := l.noiseMwFor(rxBeam)
 
 	var totalMw float64
 	var bestMw float64
 	bestDelay := math.Inf(1)
-	minDelay := math.Inf(1)
-	for _, p := range paths {
-		if p.DelayNs < minDelay {
-			minDelay = p.DelayNs
-		}
-	}
 	pdp := make([]float64, PDPTaps)
-	for _, p := range paths {
-		g := l.TxPowerDBm - l.ImplLossDB +
-			l.Tx.GainDBi(txBeam, p.Depart) +
-			l.Rx.GainDBi(rxBeam, p.Arrive) -
-			p.LossDB
-		mw := dsp.Lin(g)
-		totalMw += mw
-		if mw > bestMw {
-			bestMw = mw
-			bestDelay = p.DelayNs
-		}
-		bin := int((p.DelayNs - minDelay) / PDPBinNs)
-		if bin >= 0 && bin < PDPTaps {
-			pdp[bin] += mw
+	if txRow != nil && rxRow != nil {
+		for p, pa := range g.paths {
+			mw := g.linBase[p] * txRow[p] * rxRow[p]
+			totalMw += mw
+			if mw > bestMw {
+				bestMw = mw
+				bestDelay = pa.DelayNs
+			}
+			bin := int((pa.DelayNs - g.minDelayNs) / PDPBinNs)
+			if bin >= 0 && bin < PDPTaps {
+				pdp[bin] += mw
+			}
 		}
 	}
 
@@ -122,9 +143,12 @@ func (l *Link) interferenceMw(rxBeam int) float64 {
 	return total
 }
 
-// ensureInterferencePaths traces interferer-to-Rx paths, caching per epoch.
+// ensureInterferencePaths traces interferer-to-Rx paths. The traces depend
+// only on the link geometry and the interferer positions, so they are cached
+// across SetInterferers calls that merely change EIRP or duty cycle — the
+// common case when calibrating an interference level at a fixed placement.
 func (l *Link) ensureInterferencePaths() {
-	if l.intfPathsOK && l.intfEpoch == l.pathEpoch {
+	if l.intfPathsOK && l.intfGeomEpoch == l.geomEpoch && l.samePositions() {
 		return
 	}
 	l.intfPaths = make([][]Path, len(l.Interferers))
@@ -144,8 +168,26 @@ func (l *Link) ensureInterferencePaths() {
 		}
 		l.intfPaths[i] = paths
 	}
+	l.intfPosKey = l.intfPosKey[:0]
+	for _, it := range l.Interferers {
+		l.intfPosKey = append(l.intfPosKey, it.Pos)
+	}
 	l.intfPathsOK = true
-	l.intfEpoch = l.pathEpoch
+	l.intfGeomEpoch = l.geomEpoch
+}
+
+// samePositions reports whether the interferer positions match the ones the
+// path cache was traced for.
+func (l *Link) samePositions() bool {
+	if len(l.intfPosKey) != len(l.Interferers) {
+		return false
+	}
+	for i, it := range l.Interferers {
+		if it.Pos != l.intfPosKey[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // SNRdB is a convenience wrapper returning only the SNR for a beam pair.
@@ -158,48 +200,35 @@ func (l *Link) SNRdB(txBeam, rxBeam int) float64 {
 // first performed a SLS to collect SNR measurements for all 625 (25x25) beam
 // pairs"). The result is indexed [txBeam][rxBeam].
 //
-// Per-path antenna gains are precomputed per beam, so the sweep costs
-// O(N*paths) gain evaluations plus O(N^2*paths) multiply-adds instead of
-// O(N^2*paths) gain evaluations.
+// Per-path antenna gains are memoized per beam and per geometric state (see
+// ensureGains), so the sweep costs O(N*paths) gain evaluations at most once
+// per state plus O(N^2*paths) multiply-adds; the Tx-beam outer loop fans out
+// across the available cores.
 func (l *Link) Sweep() [][]float64 {
-	paths := l.Paths()
+	g := l.ensureGains()
 	n := phased.NumBeams
-	np := len(paths)
 
-	// linBase[p] = linear(TxPower - loss) for each path.
-	linBase := make([]float64, np)
-	for p, pa := range paths {
-		linBase[p] = dsp.Lin(l.TxPowerDBm - l.ImplLossDB - pa.LossDB)
-	}
-	// txLin[t][p], rxLin[r][p]: linear antenna gains per beam per path.
-	txLin := make([][]float64, n)
-	rxLin := make([][]float64, n)
-	for b := 0; b < n; b++ {
-		txLin[b] = make([]float64, np)
-		rxLin[b] = make([]float64, np)
-		for p, pa := range paths {
-			txLin[b][p] = dsp.Lin(l.Tx.GainDBi(b, pa.Depart))
-			rxLin[b][p] = dsp.Lin(l.Rx.GainDBi(b, pa.Arrive))
-		}
-	}
-	// Noise depends on the Rx beam (interference is directional).
-	thermalMw := dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB))
-	noiseMw := make([]float64, n)
+	// Noise depends on the Rx beam (interference is directional). Resolve
+	// it before the fan-out: noiseMwFor mutates the per-link cache.
+	noiseDB := make([]float64, n)
 	for r := 0; r < n; r++ {
-		noiseMw[r] = thermalMw + l.interferenceMw(r)
+		noiseDB[r] = dsp.DB(l.noiseMwFor(r))
 	}
 
 	out := make([][]float64, n)
-	for t := 0; t < n; t++ {
-		out[t] = make([]float64, n)
+	parallelRows(n, func(t int) {
+		row := make([]float64, n)
+		txRow := g.txLin[t]
 		for r := 0; r < n; r++ {
 			var mw float64
-			for p := 0; p < np; p++ {
-				mw += linBase[p] * txLin[t][p] * rxLin[r][p]
+			rxRow := g.rxLin[r]
+			for p := range g.linBase {
+				mw += g.linBase[p] * txRow[p] * rxRow[p]
 			}
-			out[t][r] = dsp.DB(mw) - dsp.DB(noiseMw[r])
+			row[r] = dsp.DB(mw) - noiseDB[r]
 		}
-	}
+		out[t] = row
+	})
 	return out
 }
 
@@ -252,10 +281,11 @@ func (l *Link) SetBlockers(b []Blocker) {
 }
 
 // SetInterferers replaces the interferer set. Interference does not affect
-// ray geometry, so the path cache stays valid, but the epoch advances so
-// higher layers re-measure.
+// ray geometry, so the path and gain caches stay valid, but the epoch
+// advances so higher layers (and the noise cache) re-measure. Interferer
+// path traces are revalidated by position, so changing only EIRP or duty
+// cycle does not re-trace.
 func (l *Link) SetInterferers(in []Interferer) {
 	l.Interferers = in
-	l.intfPathsOK = false
 	l.pathEpoch++
 }

@@ -35,45 +35,28 @@ func beamIndex(b int) int {
 	return b
 }
 
-// Snapshot captures the link's current geometric state.
+// Snapshot captures the link's current geometric state. It shares the
+// link's memoized gain tables (rebuilds allocate fresh slices, so the rows
+// survive later link mutation; the paths slice is copied for the same
+// reason).
 func (l *Link) Snapshot() *Snapshot {
-	paths := l.Paths()
-	np := len(paths)
+	g := l.ensureGains()
 	nb := phased.NumBeams + 1 // +1 for quasi-omni
 
 	s := &Snapshot{
-		paths:      append([]Path(nil), paths...),
-		txLin:      make([][]float64, nb),
-		rxLin:      make([][]float64, nb),
-		linBase:    make([]float64, np),
+		paths:      append([]Path(nil), g.paths...),
+		txLin:      g.txLin,
+		rxLin:      g.rxLin,
+		linBase:    g.linBase,
 		noiseMw:    make([]float64, nb),
-		minDelayNs: math.Inf(1),
-	}
-	for p, pa := range paths {
-		s.linBase[p] = dsp.Lin(l.TxPowerDBm - l.ImplLossDB - pa.LossDB)
-		if pa.DelayNs < s.minDelayNs {
-			s.minDelayNs = pa.DelayNs
-		}
+		minDelayNs: g.minDelayNs,
 	}
 	for bi := 0; bi < nb; bi++ {
 		id := bi
 		if bi == phased.NumBeams {
 			id = phased.QuasiOmniID
 		}
-		s.txLin[bi] = make([]float64, np)
-		s.rxLin[bi] = make([]float64, np)
-		for p, pa := range paths {
-			s.txLin[bi][p] = dsp.Lin(l.Tx.GainDBi(id, pa.Depart))
-			s.rxLin[bi][p] = dsp.Lin(l.Rx.GainDBi(id, pa.Arrive))
-		}
-	}
-	thermalMw := dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB))
-	for bi := 0; bi < nb; bi++ {
-		id := bi
-		if bi == phased.NumBeams {
-			id = phased.QuasiOmniID
-		}
-		s.noiseMw[bi] = thermalMw + l.interferenceMw(id)
+		s.noiseMw[bi] = l.noiseMwFor(id)
 	}
 	return s
 }
@@ -126,20 +109,26 @@ func (s *Snapshot) SNRdB(txBeam, rxBeam int) float64 {
 	return dsp.DB(mw) - dsp.DB(s.noiseMw[ri])
 }
 
-// Sweep returns the full 25x25 SNR matrix.
+// Sweep returns the full 25x25 SNR matrix. The Tx-beam outer loop fans out
+// across the available cores.
 func (s *Snapshot) Sweep() [][]float64 {
 	n := phased.NumBeams
+	noiseDB := make([]float64, n)
+	for r := 0; r < n; r++ {
+		noiseDB[r] = dsp.DB(s.noiseMw[r])
+	}
 	out := make([][]float64, n)
-	for t := 0; t < n; t++ {
-		out[t] = make([]float64, n)
+	parallelRows(n, func(t int) {
+		row := make([]float64, n)
 		for r := 0; r < n; r++ {
 			var mw float64
 			for p := range s.paths {
 				mw += s.linBase[p] * s.txLin[t][p] * s.rxLin[r][p]
 			}
-			out[t][r] = dsp.DB(mw) - dsp.DB(s.noiseMw[r])
+			row[r] = dsp.DB(mw) - noiseDB[r]
 		}
-	}
+		out[t] = row
+	})
 	return out
 }
 

@@ -75,10 +75,11 @@ type displacementSpec struct {
 	trials   []int
 }
 
-// generator accumulates a campaign.
+// generator accumulates one spec's sub-campaign. Each spec gets its own
+// generator (and RNG stream), so specs can run on any worker in any order
+// and still produce identical output (see generate in parallel.go).
 type generator struct {
 	rng      *rand.Rand
-	seedBase int64
 	building string
 	camp     *Campaign
 	posSeq   map[string]int
@@ -87,7 +88,6 @@ type generator struct {
 func newGenerator(seed int64, building, name string) *generator {
 	return &generator{
 		rng:      rand.New(rand.NewSource(seed)),
-		seedBase: seed,
 		building: building,
 		camp:     &Campaign{Dataset: Dataset{Name: name}},
 		posSeq:   map[string]int{},

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/libra-wlan/libra/internal/channel"
 	"github.com/libra-wlan/libra/internal/dsp"
@@ -257,6 +258,11 @@ func Featurize(initM, newM channel.Measurement, initMCS phy.MCS, rng *rand.Rand)
 	return FeaturizeObserved(initM, newM, phy.SampleCDR(initMCS, newM.SNRdB, rng), initMCS)
 }
 
+// csiPool recycles CSI spectrum buffers across FeaturizeObserved calls, so
+// the two FFT-PDP transforms per entry do not allocate on the campaign hot
+// path.
+var csiPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // FeaturizeObserved computes the 7-feature vector with a directly observed
 // CDR — the online path, where LiBRA reads the CDR off the last frames
 // instead of re-deriving it from SNR.
@@ -277,7 +283,13 @@ func FeaturizeObserved(initM, newM channel.Measurement, cdr float64, initMCS phy
 	}
 	f[2] = newM.NoiseDBm - initM.NoiseDBm
 	f[3] = dsp.Pearson(initM.PDP, newM.PDP)
-	f[4] = dsp.Pearson(initM.CSI(), newM.CSI())
+	ca := csiPool.Get().(*[]float64)
+	cb := csiPool.Get().(*[]float64)
+	*ca = initM.CSIInto(*ca)
+	*cb = newM.CSIInto(*cb)
+	f[4] = dsp.Pearson(*ca, *cb)
+	csiPool.Put(ca)
+	csiPool.Put(cb)
 	f[5] = cdr
 	f[6] = float64(initMCS)
 	return f

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The measurement campaigns of §4-§5 are embarrassingly parallel at the
+// granularity of one displacement spec (a site with its rotation, blockage
+// and interference sub-campaigns): specs share no link state, and every
+// random draw a spec consumes comes from its own SplitMix64-derived stream.
+// generate therefore fans the specs out over a bounded worker pool and
+// merges the per-spec results in spec order, producing output identical to
+// a single-worker run regardless of scheduling.
+
+// splitmix64 advances a SplitMix64 state and returns the next value. It
+// derives the per-spec RNG seeds from the campaign seed so that the streams
+// are independent of worker count and scheduling order (and of each other).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// specPositions returns the number of position IDs one spec allocates within
+// its environment: the initial pose plus one per move for displacement, then
+// one blockage and one interference position per block index. It must mirror
+// the allocation pattern of generator.run exactly — the deterministic
+// sharding of position IDs across workers depends on it.
+func specPositions(s *displacementSpec) int {
+	n := 1 + len(s.moves)
+	if len(s.blockIdx) > 0 {
+		n += 2 * len(s.blockIdx)
+	}
+	return n
+}
+
+// generate executes the campaign specs on a bounded worker pool and merges
+// the per-spec sub-campaigns in spec order. workers <= 0 selects
+// runtime.GOMAXPROCS(0). The output is byte-identical for every worker
+// count: per-spec RNG streams and position-ID bases are derived up front,
+// independent of scheduling.
+func generate(seed int64, building, name string, specs []*displacementSpec, txSeed func(int) int64, workers int) *Campaign {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	rngSeeds := make([]int64, len(specs))
+	posBase := make([]int, len(specs))
+	envNames := make([]string, len(specs))
+	state := uint64(seed)
+	nextPos := map[string]int{}
+	for i, sp := range specs {
+		rngSeeds[i] = int64(splitmix64(&state))
+		envNames[i] = sp.envFn().Name
+		posBase[i] = nextPos[envNames[i]]
+		nextPos[envNames[i]] += specPositions(sp)
+	}
+
+	subs := make([]*generator, len(specs))
+	runOne := func(i int) {
+		g := newGenerator(rngSeeds[i], building, name)
+		g.posSeq[envNames[i]] = posBase[i]
+		g.run(specs[i], txSeed(i))
+		subs[i] = g
+	}
+	if workers <= 1 {
+		for i := range specs {
+			runOne(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range specs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	camp := &Campaign{Dataset: Dataset{Name: name}}
+	for _, g := range subs {
+		camp.Entries = append(camp.Entries, g.camp.Entries...)
+		camp.Sites = append(camp.Sites, g.camp.Sites...)
+	}
+	return camp
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+// equalCampaigns reports field-level equality of two campaigns.
+func equalCampaigns(t *testing.T, a, b *Campaign) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Fatalf("names differ: %q vs %q", a.Name, b.Name)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		if !reflect.DeepEqual(*a.Entries[i], *b.Entries[i]) {
+			t.Fatalf("entry %d differs:\n%+v\nvs\n%+v", i, *a.Entries[i], *b.Entries[i])
+		}
+	}
+	if !reflect.DeepEqual(a.Sites, b.Sites) {
+		t.Fatalf("site registries differ")
+	}
+}
+
+// TestParallelMatchesSequential is the campaign engine's core determinism
+// guarantee: the parallel worker pool produces output identical to the
+// sequential (single-worker) path, for any worker count, entry by entry and
+// field by field.
+func TestParallelMatchesSequential(t *testing.T) {
+	seqMain := GenerateMainWorkers(42, 1)
+	seqTest := GenerateTestWorkers(43, 1)
+	for _, workers := range []int{2, 3, 8} {
+		equalCampaigns(t, seqMain, GenerateMainWorkers(42, workers))
+		equalCampaigns(t, seqTest, GenerateTestWorkers(43, workers))
+	}
+}
+
+// TestParallelStableAcrossRuns guards against scheduling-dependent output:
+// repeated parallel runs must be identical.
+func TestParallelStableAcrossRuns(t *testing.T) {
+	first := GenerateMainWorkers(42, 4)
+	if got := first.Len(); got != 1336 {
+		t.Fatalf("main campaign entries = %d, want 1336", got)
+	}
+	for run := 0; run < 2; run++ {
+		equalCampaigns(t, first, GenerateMainWorkers(42, 4))
+	}
+	firstTest := GenerateTestWorkers(43, 4)
+	if got := firstTest.Len(); got != 456 {
+		t.Fatalf("test campaign entries = %d, want 456", got)
+	}
+	equalCampaigns(t, firstTest, GenerateTestWorkers(43, 4))
+}
+
+// TestSpecPositionsMatchesRun pins the position accounting the deterministic
+// sharding relies on: specPositions must predict exactly how many position
+// IDs generator.run allocates per spec.
+func TestSpecPositionsMatchesRun(t *testing.T) {
+	for name, specs := range map[string][]*displacementSpec{"main": mainSpecs(), "test": testSpecs()} {
+		for i, sp := range specs {
+			g := newGenerator(1, "b", "p")
+			g.run(sp, int64(i+1)*1000)
+			env := sp.envFn().Name
+			if got, want := g.posSeq[env], specPositions(sp); got != want {
+				t.Errorf("%s spec %d (%s): allocated %d positions, specPositions says %d",
+					name, i, env, got, want)
+			}
+		}
+	}
+}

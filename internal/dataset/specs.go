@@ -190,24 +190,35 @@ func testSpecs() []*displacementSpec {
 
 // GenerateMain produces the main/training dataset (Table 1): 668 labeled
 // entries — 479 displacement, 81 blockage, 108 interference — plus one NA
-// augmentation entry per new state for the 3-class model of §7.
+// augmentation entry per new state for the 3-class model of §7. Sites run
+// on a GOMAXPROCS-sized worker pool; the output is identical to a
+// single-worker run (see GenerateMainWorkers).
 func GenerateMain(seed int64) *Campaign {
-	g := newGenerator(seed, "main", "main")
-	for i, spec := range mainSpecs() {
-		g.run(spec, seed+int64(i+1)*1000)
-	}
-	expectCounts(g.camp, 479, 81, 108)
-	return g.camp
+	return GenerateMainWorkers(seed, 0)
+}
+
+// GenerateMainWorkers is GenerateMain with an explicit worker count
+// (<= 0 selects runtime.GOMAXPROCS). Every worker count yields identical
+// output; the knob exists for determinism tests and benchmarking.
+func GenerateMainWorkers(seed int64, workers int) *Campaign {
+	camp := generate(seed, "main", "main", mainSpecs(),
+		func(i int) int64 { return seed + int64(i+1)*1000 }, workers)
+	expectCounts(camp, 479, 81, 108)
+	return camp
 }
 
 // GenerateTest produces the testing dataset (Table 2) collected in two
 // different buildings: 228 labeled entries — 165 displacement, 27 blockage,
 // 36 interference — plus NA augmentation.
 func GenerateTest(seed int64) *Campaign {
-	g := newGenerator(seed, "test", "testing")
-	for i, spec := range testSpecs() {
-		g.run(spec, seed+int64(i+7)*2000)
-	}
-	expectCounts(g.camp, 165, 27, 36)
-	return g.camp
+	return GenerateTestWorkers(seed, 0)
+}
+
+// GenerateTestWorkers is GenerateTest with an explicit worker count (<= 0
+// selects runtime.GOMAXPROCS); every worker count yields identical output.
+func GenerateTestWorkers(seed int64, workers int) *Campaign {
+	camp := generate(seed, "test", "testing", testSpecs(),
+		func(i int) int64 { return seed + int64(i+7)*2000 }, workers)
+	expectCounts(camp, 165, 27, 36)
+	return camp
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // ErrNotPowerOfTwo is returned by FFT when the input length is not a power of
@@ -22,6 +23,27 @@ func NextPow2(n int) int {
 		p <<= 1
 	}
 	return p
+}
+
+// twiddles caches the FFT twiddle factors per transform length
+// (int -> []complex128 of length n/2, entry k = exp(-2*pi*i*k/n)).
+var twiddles sync.Map
+
+// twiddleTable returns the twiddle factors for an n-point FFT, computing and
+// caching them on first use. Each factor comes directly from Sincos, avoiding
+// the numerical drift of the incremental w *= wl recurrence (and its two
+// complex multiplies per butterfly).
+func twiddleTable(n int) []complex128 {
+	if v, ok := twiddles.Load(n); ok {
+		return v.([]complex128)
+	}
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		tw[k] = complex(c, s)
+	}
+	v, _ := twiddles.LoadOrStore(n, tw)
+	return v.([]complex128)
 }
 
 // FFT computes the in-place radix-2 decimation-in-time fast Fourier transform
@@ -45,18 +67,22 @@ func FFT(x []complex128) error {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Danielson-Lanczos butterflies.
+	if n < 2 {
+		return nil
+	}
+	// Danielson-Lanczos butterflies with precomputed twiddle factors: the
+	// stage with butterfly span `length` uses every (n/length)-th entry of
+	// the n-point table.
+	tw := twiddleTable(n)
 	for length := 2; length <= n; length <<= 1 {
-		ang := -2 * math.Pi / float64(length)
-		wl := cmplx.Rect(1, ang)
+		half := length >> 1
+		stride := n / length
 		for i := 0; i < n; i += length {
-			w := complex(1, 0)
-			for j := 0; j < length/2; j++ {
+			for j := 0; j < half; j++ {
 				u := x[i+j]
-				v := x[i+j+length/2] * w
+				v := x[i+j+half] * tw[j*stride]
 				x[i+j] = u + v
-				x[i+j+length/2] = u - v
-				w *= wl
+				x[i+j+half] = u - v
 			}
 		}
 	}
@@ -78,20 +104,46 @@ func IFFT(x []complex128) error {
 	return nil
 }
 
+// cbufPool recycles the complex scratch buffers of FFTRealInto so that
+// transform-heavy paths (CSI featurization measures two 256-tap PDPs per
+// entry) do not allocate per call.
+var cbufPool = sync.Pool{New: func() any { return new([]complex128) }}
+
+// FFTRealInto zero-pads x to the next power of two n, runs an FFT on a pooled
+// scratch buffer, and writes the magnitude spectrum into dst, growing it if
+// its capacity is below n. It returns dst (re-sliced to length n). dst may
+// alias x: x is consumed before dst is written.
+func FFTRealInto(dst, x []float64) []float64 {
+	n := NextPow2(len(x))
+	bp := cbufPool.Get().(*[]complex128)
+	buf := *bp
+	if cap(buf) < n {
+		buf = make([]complex128, n)
+	}
+	buf = buf[:n]
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	for i := len(x); i < n; i++ {
+		buf[i] = 0
+	}
+	// Length is a power of two by construction; error is impossible.
+	_ = FFT(buf)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i, c := range buf {
+		dst[i] = cmplx.Abs(c)
+	}
+	*bp = buf
+	cbufPool.Put(bp)
+	return dst
+}
+
 // FFTReal zero-pads x to the next power of two, runs an FFT, and returns the
 // magnitude spectrum. It is the transform used to estimate CSI from a power
 // delay profile.
 func FFTReal(x []float64) []float64 {
-	n := NextPow2(len(x))
-	buf := make([]complex128, n)
-	for i, v := range x {
-		buf[i] = complex(v, 0)
-	}
-	// Length is a power of two by construction; error is impossible.
-	_ = FFT(buf)
-	out := make([]float64, n)
-	for i, c := range buf {
-		out[i] = cmplx.Abs(c)
-	}
-	return out
+	return FFTRealInto(nil, x)
 }

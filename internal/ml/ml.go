@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Dataset is a feature matrix with integer class labels.
@@ -158,26 +160,51 @@ type CVResult struct {
 
 // CrossValidate runs stratified k-fold cross-validation of the classifier
 // factory over the dataset. factory must return a fresh, unfitted model on
-// each call.
+// each call, and must be safe to call concurrently: the folds are
+// independent once split, so they train and evaluate in parallel on a
+// GOMAXPROCS-bounded pool. The splits come from rng before the fan-out and
+// per-fold scores aggregate in fold order, so the result is identical to a
+// sequential run.
 func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
 	folds := StratifiedKFold(d.Y, k, rng)
-	var res CVResult
+	type foldScore struct {
+		acc, f1 float64
+		err     error
+	}
+	scores := make([]foldScore, len(folds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for fi := range folds {
-		var trainIdx []int
-		for fj := range folds {
-			if fj != fi {
-				trainIdx = append(trainIdx, folds[fj]...)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(fi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var trainIdx []int
+			for fj := range folds {
+				if fj != fi {
+					trainIdx = append(trainIdx, folds[fj]...)
+				}
 			}
+			train := d.Subset(trainIdx)
+			test := d.Subset(folds[fi])
+			c := factory()
+			if err := c.Fit(train); err != nil {
+				scores[fi] = foldScore{err: fmt.Errorf("ml: fold %d: %w", fi, err)}
+				return
+			}
+			pred := PredictAll(c, test)
+			scores[fi] = foldScore{acc: Accuracy(test.Y, pred), f1: WeightedF1(test.Y, pred)}
+		}(fi)
+	}
+	wg.Wait()
+	var res CVResult
+	for _, sc := range scores {
+		if sc.err != nil {
+			return CVResult{}, sc.err
 		}
-		train := d.Subset(trainIdx)
-		test := d.Subset(folds[fi])
-		c := factory()
-		if err := c.Fit(train); err != nil {
-			return CVResult{}, fmt.Errorf("ml: fold %d: %w", fi, err)
-		}
-		pred := PredictAll(c, test)
-		res.Accuracy += Accuracy(test.Y, pred)
-		res.WeightedF1 += WeightedF1(test.Y, pred)
+		res.Accuracy += sc.acc
+		res.WeightedF1 += sc.f1
 		res.Folds++
 	}
 	if res.Folds > 0 {

@@ -178,6 +178,19 @@ func (a *Array) GainDBi(beamID int, dir geom.Vec) float64 {
 	return a.Beams[beamID].GainDBi(localDeg)
 }
 
+// AllGainsDBi fills out[b] with the gain of every codebook beam toward the
+// world-coordinate direction dir, and returns the quasi-omni gain. It is the
+// batch form of GainDBi for sweep-style evaluation: the world-to-local angle
+// conversion (an atan2) is done once instead of once per beam.
+// len(out) must be at least NumBeams.
+func (a *Array) AllGainsDBi(dir geom.Vec, out []float64) (quasiOmniDBi float64) {
+	localDeg := geom.Deg(dir.Angle()) - a.OrientDeg
+	for i, b := range a.Beams {
+		out[i] = b.GainDBi(localDeg)
+	}
+	return a.QuasiOmniGainDBi
+}
+
 // GainTowardDBi is a convenience wrapper that computes the gain toward a
 // world point.
 func (a *Array) GainTowardDBi(beamID int, p geom.Vec) float64 {
