@@ -19,7 +19,7 @@ vet:
 # bench records a dated BENCH_<date>.json snapshot of the paper-reproduction
 # benchmarks and diffs it against the previous snapshot (10% threshold).
 bench:
-	$(GO) run ./cmd/libra-bench -bench 'Table1|Table2|SectorSweep|ClassifierInference|PolicyEntry' -benchtime 1x
+	$(GO) run ./cmd/libra-bench -bench 'Table1|Table2|CrossValidation|ForestFit|PredictBatch|SectorSweep|ClassifierInference|PolicyEntry' -benchtime 1x
 
 # check is the pre-merge gate: static analysis plus the race-enabled suite.
 check: vet race

@@ -234,6 +234,41 @@ func BenchmarkClassifierInference(b *testing.B) {
 	}
 }
 
+// BenchmarkForestFit measures forest training on the main campaign's feature
+// matrix — the presorted split-finding hot path.
+func BenchmarkForestFit(b *testing.B) {
+	s := suite(b)
+	train := s.Main().ToML(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := &ml.RandomForest{NumTrees: 60, MaxDepth: 10, Seed: 3}
+		if err := rf.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures flattened batch inference over the whole
+// test campaign with a reused output buffer (zero per-sample allocation).
+func BenchmarkPredictBatch(b *testing.B) {
+	s := suite(b)
+	train := s.Main().ToML(true)
+	test := s.Test().ToML(true)
+	rf := &ml.RandomForest{NumTrees: 60, MaxDepth: 10, Seed: 3}
+	if err := rf.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int, 0, test.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = rf.PredictBatch(test.X, out)
+	}
+	if len(out) != test.Len() {
+		b.Fatal("bad batch output")
+	}
+}
+
 func BenchmarkPolicyEntry(b *testing.B) {
 	s := suite(b)
 	clf, _ := s.Classifier()

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	libra-bench [-bench 'Table1|Table2'] [-benchtime 1x] [-pkg .]
-//	            [-dir .] [-threshold 0.10] [-strict]
+//	            [-dir .] [-threshold 0.10] [-strict] [-label mylabel]
 //
 // Every benchmark line is parsed into its full metric set (ns/op, B/op,
 // allocs/op, and any custom b.ReportMetric units such as acc%). For the
@@ -74,6 +74,7 @@ func main() {
 	dir := flag.String("dir", ".", "directory for BENCH_<date>.json snapshots")
 	threshold := flag.Float64("threshold", 0.10, "relative increase in a lower-is-better metric that counts as a regression")
 	strict := flag.Bool("strict", false, "exit non-zero when a regression is detected")
+	label := flag.String("label", "", "optional snapshot filename suffix (BENCH_<date>_<label>.json), for a second snapshot on the same day")
 	flag.Parse()
 
 	args := []string{"test", "-run=^$", "-bench=" + *bench, "-benchmem", "-benchtime=" + *benchTime, *pkg}
@@ -118,7 +119,13 @@ func main() {
 		log.Fatal("no benchmark results parsed")
 	}
 
-	outPath := filepath.Join(*dir, "BENCH_"+snap.Date+".json")
+	name := "BENCH_" + snap.Date
+	if *label != "" {
+		// '_' sorts after '.', so a labeled snapshot supersedes the same
+		// day's plain one as the comparison baseline for later runs.
+		name += "_" + *label
+	}
+	outPath := filepath.Join(*dir, name+".json")
 	prev, prevPath, err := latestSnapshot(*dir, outPath)
 	if err != nil {
 		log.Fatalf("reading previous snapshot: %v", err)

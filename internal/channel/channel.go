@@ -164,11 +164,41 @@ type Link struct {
 	intfGeomEpoch uint64
 	intfPosKey    []geom.Vec
 
+	// intfRxGain[i][beamRow][path] caches the Rx beam gain (dBi) toward
+	// interferer i's paths; valid while the interferer traces and the Rx
+	// orientation are unchanged (see interferenceMw).
+	intfRxGain        [][][]float64
+	intfRxGainRxEpoch uint64
+
+	// rxGeomEpoch advances when only the Rx orientation changes. The traced
+	// paths and Tx gains do not depend on it, so ensureGains refreshes just
+	// the Rx gain rows (see rebuildRxGains) instead of re-tracing.
+	rxGeomEpoch uint64
+
+	// Cached linear conversions of each array's pattern-floor and quasi-omni
+	// gains, revalidated against the codebook on rebuild (see ensureFloorLin).
+	txFloorDB, txFloorLin []float64
+	rxFloorDB, rxFloorLin []float64
+
+	// Cached linear thermal noise floor, keyed by noise figure (thermalMw).
+	thermalOK              bool
+	thermalNFv, thermalMwV float64
+
 	// gains holds the per-geometry beam gain tables shared by Measure,
 	// Sweep and Snapshot (see ensureGains).
-	gains      gainTables
-	gainsOK    bool
-	gainsEpoch uint64
+	gains        gainTables
+	gainsOK      bool
+	gainsEpoch   uint64
+	gainsRxEpoch uint64
+
+	// best* cache the BestPair result per (path epoch, link budget): the
+	// ground-truth SLS that both collect-style callers and measureInit run
+	// at the same state is then computed once.
+	bestOK                  bool
+	bestEpoch               uint64
+	bestNF, bestTxP, bestIL float64
+	bestT, bestR            int
+	bestSNR                 float64
 
 	// noiseMw caches thermal+interference noise per Rx beam between
 	// epoch bumps (see noiseMwFor). Entries < 0 are not yet computed.

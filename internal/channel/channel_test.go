@@ -504,3 +504,69 @@ func TestPseudo3DNoLOSNoVertical(t *testing.T) {
 		}
 	}
 }
+
+func TestBestPairMatchesExhaustiveScan(t *testing.T) {
+	// BestPair's column-maximum search must agree exactly — winner indices,
+	// tie-break, and SNR bits — with the naive row-major scan over SNRdB it
+	// replaces, with and without interference.
+	l := testLink(7)
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			l.SetInterferers([]Interferer{{Pos: geom.V(24, 53), EIRPdBm: 5, DutyCycle: 0.8}})
+		}
+		bt, br, bs := l.BestPair()
+		wt, wr, ws := 0, 0, math.Inf(-1)
+		for tb := 0; tb < phased.NumBeams; tb++ {
+			for rb := 0; rb < phased.NumBeams; rb++ {
+				if s := l.SNRdB(tb, rb); s > ws {
+					wt, wr, ws = tb, rb, s
+				}
+			}
+		}
+		if bt != wt || br != wr || bs != ws {
+			t.Fatalf("pass %d: BestPair (%d,%d,%v) vs scan (%d,%d,%v)", pass, bt, br, bs, wt, wr, ws)
+		}
+	}
+}
+
+func TestRotatedLinkMatchesFresh(t *testing.T) {
+	// The Rx-only invalidation path (RotateRx -> rebuildRxGains) must leave
+	// the link indistinguishable from one freshly built at the rotated
+	// orientation, including the interferer-gain caches.
+	intf := []Interferer{{Pos: geom.V(26, 47), EIRPdBm: 3, DutyCycle: 0.7}}
+	l := testLink(9)
+	l.SetInterferers(intf)
+	l.BestPair() // populate every cache at the base orientation
+	l.RotateRx(215)
+
+	e := emptyRoom()
+	tx := phased.NewArray(geom.V(20, 50), 0, 1)
+	rx := phased.NewArray(geom.V(29, 50), 215, 2)
+	fresh := NewLink(e, tx, rx)
+	fresh.SetInterferers(intf)
+
+	lt, lr, ls := l.BestPair()
+	ft, fr, fs := fresh.BestPair()
+	if lt != ft || lr != fr || ls != fs {
+		t.Fatalf("rotated BestPair (%d,%d,%v) vs fresh (%d,%d,%v)", lt, lr, ls, ft, fr, fs)
+	}
+	got, want := l.Sweep(), fresh.Sweep()
+	for tb := range want {
+		for rb := range want[tb] {
+			if got[tb][rb] != want[tb][rb] {
+				t.Fatalf("sweep[%d][%d] = %v after rotation, fresh link = %v", tb, rb, got[tb][rb], want[tb][rb])
+			}
+		}
+	}
+}
+
+func TestSamePoseMutationsAreNoOps(t *testing.T) {
+	l := testLink(8)
+	l.BestPair()
+	e0 := l.Epoch()
+	l.MoveRx(l.Rx.Pos)
+	l.RotateRx(l.Rx.OrientDeg)
+	if l.Epoch() != e0 {
+		t.Error("same-pose MoveRx/RotateRx advanced the epoch")
+	}
+}

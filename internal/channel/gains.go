@@ -31,6 +31,43 @@ type gainTables struct {
 	txPowerDBm, implLossDB float64
 }
 
+// ensureFloorLin revalidates the cached linear conversions of an array's
+// per-beam pattern floors (index b) and quasi-omni gain (index NumBeams).
+// Off-axis beams evaluate to the floor for most path directions, so serving
+// those conversions from the cache removes the bulk of the Pow calls in a
+// rebuild; dsp.Lin is a pure function, so a cached value is bit-identical to
+// a fresh one.
+func ensureFloorLin(a *phased.Array, db, lin []float64) ([]float64, []float64) {
+	nb := len(a.Beams)
+	if len(db) != nb+1 {
+		db = make([]float64, nb+1)
+		lin = make([]float64, nb+1)
+		for i := range db {
+			db[i] = math.NaN() // never equal: force first-use computation
+		}
+	}
+	for i, bm := range a.Beams {
+		if db[i] != bm.FloorDBi {
+			db[i] = bm.FloorDBi
+			lin[i] = dsp.Lin(bm.FloorDBi)
+		}
+	}
+	if db[nb] != a.QuasiOmniGainDBi {
+		db[nb] = a.QuasiOmniGainDBi
+		lin[nb] = dsp.Lin(a.QuasiOmniGainDBi)
+	}
+	return db, lin
+}
+
+// linGain converts one beam gain to linear, serving pattern-floor and
+// quasi-omni hits from the cached conversions.
+func linGain(v float64, i int, floorDB, floorLin []float64) float64 {
+	if v == floorDB[i] {
+		return floorLin[i]
+	}
+	return dsp.Lin(v)
+}
+
 // ensureGains returns the gain tables for the current geometry and link
 // budget, rebuilding them when the geometry epoch advanced or the budget
 // fields changed. Rebuilds always allocate fresh slices so previously
@@ -38,6 +75,9 @@ type gainTables struct {
 func (l *Link) ensureGains() *gainTables {
 	if l.gainsOK && l.gainsEpoch == l.geomEpoch &&
 		l.gains.txPowerDBm == l.TxPowerDBm && l.gains.implLossDB == l.ImplLossDB {
+		if l.gainsRxEpoch != l.rxGeomEpoch {
+			l.rebuildRxGains()
+		}
 		return &l.gains
 	}
 	paths := l.Paths()
@@ -57,6 +97,8 @@ func (l *Link) ensureGains() *gainTables {
 	}
 	g.minDelayNs = math.Inf(1)
 
+	l.txFloorDB, l.txFloorLin = ensureFloorLin(l.Tx, l.txFloorDB, l.txFloorLin)
+	l.rxFloorDB, l.rxFloorLin = ensureFloorLin(l.Rx, l.rxFloorDB, l.rxFloorLin)
 	var dbBuf [phased.NumBeams]float64
 	for p, pa := range paths {
 		g.linBase[p] = dsp.Lin(l.TxPowerDBm - l.ImplLossDB - pa.LossDB)
@@ -65,19 +107,46 @@ func (l *Link) ensureGains() *gainTables {
 		}
 		qo := l.Tx.AllGainsDBi(pa.Depart, dbBuf[:])
 		for b := 0; b < phased.NumBeams; b++ {
-			g.txLin[b][p] = dsp.Lin(dbBuf[b])
+			g.txLin[b][p] = linGain(dbBuf[b], b, l.txFloorDB, l.txFloorLin)
 		}
-		g.txLin[phased.NumBeams][p] = dsp.Lin(qo)
+		g.txLin[phased.NumBeams][p] = linGain(qo, phased.NumBeams, l.txFloorDB, l.txFloorLin)
 		qo = l.Rx.AllGainsDBi(pa.Arrive, dbBuf[:])
 		for b := 0; b < phased.NumBeams; b++ {
-			g.rxLin[b][p] = dsp.Lin(dbBuf[b])
+			g.rxLin[b][p] = linGain(dbBuf[b], b, l.rxFloorDB, l.rxFloorLin)
 		}
-		g.rxLin[phased.NumBeams][p] = dsp.Lin(qo)
+		g.rxLin[phased.NumBeams][p] = linGain(qo, phased.NumBeams, l.rxFloorDB, l.rxFloorLin)
 	}
 
 	l.gainsOK = true
 	l.gainsEpoch = l.geomEpoch
+	l.gainsRxEpoch = l.rxGeomEpoch
 	return g
+}
+
+// rebuildRxGains refreshes only the Rx-side gain rows after a pure Rx
+// rotation: the traced paths, link budget, and Tx gains are unaffected, so a
+// rotation sweep costs one AllGainsDBi pass per path on the Rx array instead
+// of a re-trace plus a full two-sided rebuild. Fresh rows are allocated so
+// previously handed-out tables (e.g. inside a Snapshot) stay valid.
+func (l *Link) rebuildRxGains() {
+	g := &l.gains
+	np := len(g.paths)
+	nb := phased.NumBeams + 1
+	rx := make([][]float64, nb)
+	for b := 0; b < nb; b++ {
+		rx[b] = make([]float64, np)
+	}
+	l.rxFloorDB, l.rxFloorLin = ensureFloorLin(l.Rx, l.rxFloorDB, l.rxFloorLin)
+	var dbBuf [phased.NumBeams]float64
+	for p := range g.paths {
+		qo := l.Rx.AllGainsDBi(g.paths[p].Arrive, dbBuf[:])
+		for b := 0; b < phased.NumBeams; b++ {
+			rx[b][p] = linGain(dbBuf[b], b, l.rxFloorDB, l.rxFloorLin)
+		}
+		rx[phased.NumBeams][p] = linGain(qo, phased.NumBeams, l.rxFloorDB, l.rxFloorLin)
+	}
+	g.rxLin = rx
+	l.gainsRxEpoch = l.rxGeomEpoch
 }
 
 // row returns the gain row for a beam ID, or nil for an out-of-codebook ID
@@ -111,12 +180,25 @@ func (l *Link) noiseMwFor(rxBeam int) float64 {
 	}
 	i := beamIndex(rxBeam)
 	if i < 0 || i >= len(l.noiseMw) {
-		return dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB)) + l.interferenceMw(rxBeam)
+		return l.thermalMw() + l.interferenceMw(rxBeam)
 	}
 	if l.noiseMw[i] < 0 {
-		l.noiseMw[i] = dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB)) + l.interferenceMw(rxBeam)
+		l.noiseMw[i] = l.thermalMw() + l.interferenceMw(rxBeam)
 	}
 	return l.noiseMw[i]
+}
+
+// thermalMw returns the linear thermal noise floor for the current noise
+// figure, converting it at most once per noise-figure value: the conversion
+// is a pure function of NoiseFigureDB, and every beam of every noise-vector
+// refill shares it.
+func (l *Link) thermalMw() float64 {
+	if !l.thermalOK || l.thermalNFv != l.NoiseFigureDB {
+		l.thermalNFv = l.NoiseFigureDB
+		l.thermalMwV = dsp.Lin(ThermalNoiseDBm(l.NoiseFigureDB))
+		l.thermalOK = true
+	}
+	return l.thermalMwV
 }
 
 // parallelRows runs fn(i) for every i in [0, n) across up to GOMAXPROCS

@@ -3,6 +3,8 @@ package ml
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // RandomForest is a bagged ensemble of decision trees with per-split feature
@@ -22,6 +24,9 @@ type RandomForest struct {
 	MaxFeatures int
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds the goroutines fitting trees (<=0 means GOMAXPROCS).
+	// The fitted model is byte-identical for any worker count.
+	Workers int
 
 	trees      []*DecisionTree
 	importance []float64
@@ -31,13 +36,19 @@ type RandomForest struct {
 // Name implements Classifier.
 func (f *RandomForest) Name() string { return "random-forest" }
 
-// Fit implements Classifier.
+// Fit implements Classifier. Every tree's bootstrap sample and RNG seed are
+// drawn up front from the single seeded stream, then the trees fit on a
+// bounded worker pool and aggregate (trees and Gini importances) in tree
+// order — so the fitted forest does not depend on Workers, and matches a
+// fully sequential fit bit for bit. Fit does not modify the exported
+// configuration fields.
 func (f *RandomForest) Fit(d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
-	if f.NumTrees <= 0 {
-		f.NumTrees = 100
+	numTrees := f.NumTrees
+	if numTrees <= 0 {
+		numTrees = 100
 	}
 	maxFeat := f.MaxFeatures
 	if maxFeat <= 0 {
@@ -45,58 +56,173 @@ func (f *RandomForest) Fit(d *Dataset) error {
 	}
 	rng := rand.New(rand.NewSource(f.Seed ^ 0x5eed))
 	f.numClasses = d.NumClasses()
-	f.trees = make([]*DecisionTree, 0, f.NumTrees)
-	f.importance = make([]float64, d.NumFeatures())
 
 	n := d.Len()
-	for t := 0; t < f.NumTrees; t++ {
-		// Bootstrap sample.
+	boots := make([][]int, numTrees)
+	seeds := make([]int64, numTrees)
+	for t := 0; t < numTrees; t++ {
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = rng.Intn(n)
 		}
-		boot := d.Subset(idx)
-		tree := &DecisionTree{
-			MaxDepth:    f.MaxDepth,
-			MinLeaf:     f.MinLeaf,
-			Criterion:   f.Criterion,
-			MaxFeatures: maxFeat,
-			Rng:         rand.New(rand.NewSource(rng.Int63())),
-		}
-		if err := tree.Fit(boot); err != nil {
-			return err
-		}
-		f.trees = append(f.trees, tree)
-		for i, v := range tree.Importance() {
+		boots[t] = idx
+		seeds[t] = rng.Int63()
+	}
+
+	trees := make([]*DecisionTree, numTrees)
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numTrees {
+		workers = numTrees
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				tree := &DecisionTree{
+					MaxDepth:    f.MaxDepth,
+					MinLeaf:     f.MinLeaf,
+					Criterion:   f.Criterion,
+					MaxFeatures: maxFeat,
+					Rng:         rand.New(rand.NewSource(seeds[t])),
+				}
+				if err := tree.Fit(d.Subset(boots[t])); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				trees[t] = tree
+			}
+		}()
+	}
+	for t := 0; t < numTrees; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	f.trees = trees
+	f.importance = make([]float64, d.NumFeatures())
+	for _, tree := range trees {
+		for i, v := range tree.importance {
 			f.importance[i] += v
 		}
 	}
 	return nil
 }
 
-// Predict implements Classifier via majority vote.
+// voteClasses returns the vote-buffer width: every class a tree can emit.
+func (f *RandomForest) voteClasses() int {
+	nc := f.numClasses
+	for _, t := range f.trees {
+		if t.flat.maxClass+1 > nc {
+			nc = t.flat.maxClass + 1
+		}
+	}
+	if nc < 1 {
+		nc = 1
+	}
+	return nc
+}
+
+// Predict implements Classifier via majority vote. The walk over compiled
+// trees and the stack-resident vote buffer make a call allocation-free.
 func (f *RandomForest) Predict(x []float64) int {
 	if len(f.trees) == 0 {
 		return 0
 	}
-	votes := make([]int, f.numClasses)
+	var vbuf [16]int
+	votes := vbuf[:0]
+	if f.numClasses <= len(vbuf) {
+		votes = vbuf[:f.numClasses]
+	} else {
+		votes = make([]int, f.numClasses)
+	}
 	for _, t := range f.trees {
 		c := t.Predict(x)
 		if c >= len(votes) {
-			grown := make([]int, c+1)
-			copy(grown, votes)
-			votes = grown
+			if c < len(vbuf) {
+				votes = vbuf[:c+1]
+			} else {
+				grown := make([]int, c+1)
+				copy(grown, votes)
+				votes = grown
+			}
 		}
 		votes[c]++
 	}
-	best, bestN := 0, -1
-	for c, n := range votes {
-		if n > bestN {
-			best, bestN = c, n
+	return argmaxCount(votes)
+}
+
+// PredictBatch implements BatchPredictor: it classifies every row of X into
+// out (reused when its capacity suffices) with no per-sample allocation. The
+// walk iterates trees in the outer loop so each compiled tree stays
+// cache-resident across the whole batch.
+func (f *RandomForest) PredictBatch(X [][]float64, out []int) []int {
+	out = resizeInts(out, len(X))
+	if len(f.trees) == 0 || len(X) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	nc := f.voteClasses()
+	votes := make([]int32, len(X)*nc)
+	for _, t := range f.trees {
+		nodes := t.flat.nodes
+		if len(nodes) == 0 {
+			for s, x := range X {
+				votes[s*nc+t.Predict(x)]++
+			}
+			continue
+		}
+		for s, x := range X {
+			i := int32(0)
+			for {
+				nd := &nodes[i]
+				if nd.feature < 0 {
+					votes[s*nc+int(nd.class)]++
+					break
+				}
+				if x[nd.feature] <= nd.threshold {
+					i = nd.left
+				} else {
+					i = nd.right
+				}
+			}
 		}
 	}
-	return best
+	for s := range X {
+		row := votes[s*nc : (s+1)*nc]
+		best, bestN := 0, int32(-1)
+		for c, n := range row {
+			if n > bestN {
+				best, bestN = c, n
+			}
+		}
+		out[s] = best
+	}
+	return out
 }
+
+// NumClasses returns the number of classes the forest was fitted (or loaded)
+// with.
+func (f *RandomForest) NumClasses() int { return f.numClasses }
 
 // Proba returns the vote distribution over classes for x.
 func (f *RandomForest) Proba(x []float64) []float64 {
@@ -114,6 +240,39 @@ func (f *RandomForest) Proba(x []float64) []float64 {
 		p[i] /= float64(len(f.trees))
 	}
 	return p
+}
+
+// PredictProbaBatch returns the per-class vote distribution for every row of
+// X as a row-major len(X)*NumClasses() slice (reusing out when its capacity
+// suffices), with no per-sample allocation. Row s of the result equals
+// Proba(X[s]).
+func (f *RandomForest) PredictProbaBatch(X [][]float64, out []float64) []float64 {
+	nc := f.numClasses
+	want := len(X) * nc
+	if cap(out) < want {
+		out = make([]float64, want)
+	} else {
+		out = out[:want]
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	if len(f.trees) == 0 || want == 0 {
+		return out
+	}
+	for _, t := range f.trees {
+		for s, x := range X {
+			c := t.Predict(x)
+			if c < nc {
+				out[s*nc+c]++
+			}
+		}
+	}
+	nt := float64(len(f.trees))
+	for i := range out {
+		out[i] /= nt
+	}
+	return out
 }
 
 // GiniImportance returns the normalized mean decrease in impurity per

@@ -2,7 +2,9 @@ package ml
 
 import (
 	"math"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 )
 
 // GradientBoosting is a gradient-boosted-trees classifier (logistic loss,
@@ -22,6 +24,7 @@ type GradientBoosting struct {
 
 	ensembles  [][]*regTree // one ensemble per class (1 for binary)
 	base       []float64    // per-ensemble prior log-odds
+	lr         float64      // resolved learning rate used at fit time
 	numClasses int
 }
 
@@ -41,12 +44,16 @@ type regNode struct {
 // regTree is a fitted regression tree.
 type regTree struct {
 	root    *regNode
+	flat    flatRegTree
 	minLeaf int
 	depth   int
 }
 
 // predict evaluates the tree at x.
 func (t *regTree) predict(x []float64) float64 {
+	if len(t.flat.nodes) > 0 {
+		return t.flat.predict(x)
+	}
 	n := t.root
 	for !n.isLeaf {
 		if x[n.feature] <= n.threshold {
@@ -58,46 +65,95 @@ func (t *regTree) predict(x []float64) float64 {
 	return n.value
 }
 
-// fitReg grows a regression tree on (x, residuals) minimizing squared error.
-func fitReg(x [][]float64, y []float64, idx []int, depth, maxDepth, minLeaf int) *regNode {
-	mean := 0.0
-	for _, i := range idx {
-		mean += y[i]
+// regSample is one (value, sample) pair of a presorted feature column.
+type regSample struct {
+	v float64
+	i int32
+}
+
+// regBuilder grows one regression tree from presorted columns. The feature
+// matrix never changes across boosting rounds, so the presort happens once
+// per Fit (the master columns) and each round only copies and partitions.
+type regBuilder struct {
+	x        [][]float64
+	y        []float64 // residuals, rewritten every round
+	maxDepth int
+	minLeaf  int
+
+	master   [][]regSample // pristine presorted columns (read-only, shared)
+	cols     [][]regSample // working copy, partitioned down the tree
+	idx      []int32       // node samples in ascending original order
+	scratch  []regSample
+	idxTmp   []int32
+	goesLeft []bool
+}
+
+func newRegBuilder(x [][]float64, master [][]regSample, maxDepth, minLeaf int) *regBuilder {
+	n := len(x)
+	rb := &regBuilder{
+		x:        x,
+		maxDepth: maxDepth,
+		minLeaf:  minLeaf,
+		master:   master,
+		cols:     make([][]regSample, len(master)),
+		idx:      make([]int32, n),
+		scratch:  make([]regSample, n),
+		idxTmp:   make([]int32, n),
+		goesLeft: make([]bool, n),
 	}
-	mean /= float64(len(idx))
-	if depth >= maxDepth || len(idx) < 2*minLeaf {
+	for f := range master {
+		rb.cols[f] = make([]regSample, n)
+	}
+	return rb
+}
+
+// fit grows one tree on the current residuals y.
+func (rb *regBuilder) fit(y []float64) *regNode {
+	rb.y = y
+	for f := range rb.master {
+		copy(rb.cols[f], rb.master[f])
+	}
+	for i := range rb.idx {
+		rb.idx[i] = int32(i)
+	}
+	return rb.build(0, len(rb.idx), 0)
+}
+
+// build grows the tree over the column range [lo, hi), minimizing squared
+// error.
+func (rb *regBuilder) build(lo, hi, depth int) *regNode {
+	ids := rb.idx[lo:hi]
+	mean := 0.0
+	for _, i := range ids {
+		mean += rb.y[i]
+	}
+	mean /= float64(len(ids))
+	if depth >= rb.maxDepth || len(ids) < 2*rb.minLeaf {
 		return &regNode{isLeaf: true, value: mean}
 	}
 
-	bestFeat, bestThr, bestGain := -1, 0.0, 1e-12
-	nf := len(x[0])
-	type fv struct {
-		v, y float64
-	}
-	vals := make([]fv, len(idx))
 	var totalSum, totalSq float64
-	for _, i := range idx {
-		totalSum += y[i]
-		totalSq += y[i] * y[i]
+	for _, i := range ids {
+		totalSum += rb.y[i]
+		totalSq += rb.y[i] * rb.y[i]
 	}
-	n := float64(len(idx))
+	n := float64(len(ids))
 	parentSSE := totalSq - totalSum*totalSum/n
 
-	for f := 0; f < nf; f++ {
-		for k, i := range idx {
-			vals[k] = fv{v: x[i][f], y: y[i]}
-		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+	bestFeat, bestThr, bestGain := -1, 0.0, 1e-12
+	for f := range rb.cols {
+		col := rb.cols[f][lo:hi]
 		var leftSum, leftSq float64
-		for k := 0; k < len(vals)-1; k++ {
-			leftSum += vals[k].y
-			leftSq += vals[k].y * vals[k].y
-			if vals[k].v == vals[k+1].v {
+		for k := 0; k < len(col)-1; k++ {
+			yv := rb.y[col[k].i]
+			leftSum += yv
+			leftSq += yv * yv
+			if col[k].v == col[k+1].v {
 				continue
 			}
 			nl := float64(k + 1)
 			nr := n - nl
-			if int(nl) < minLeaf || int(nr) < minLeaf {
+			if int(nl) < rb.minLeaf || int(nr) < rb.minLeaf {
 				continue
 			}
 			rightSum := totalSum - leftSum
@@ -106,49 +162,122 @@ func fitReg(x [][]float64, y []float64, idx []int, depth, maxDepth, minLeaf int)
 			if gain := parentSSE - sse; gain > bestGain {
 				bestGain = gain
 				bestFeat = f
-				bestThr = (vals[k].v + vals[k+1].v) / 2
+				bestThr = (col[k].v + col[k+1].v) / 2
 			}
 		}
 	}
 	if bestFeat < 0 {
 		return &regNode{isLeaf: true, value: mean}
 	}
-	var left, right []int
-	for _, i := range idx {
-		if x[i][bestFeat] <= bestThr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	nl := 0
+	for _, s := range rb.cols[bestFeat][lo:hi] {
+		gl := s.v <= bestThr
+		rb.goesLeft[s.i] = gl
+		if gl {
+			nl++
 		}
 	}
-	if len(left) < minLeaf || len(right) < minLeaf {
+	if nl < rb.minLeaf || (hi-lo)-nl < rb.minLeaf {
 		return &regNode{isLeaf: true, value: mean}
 	}
+	for f := range rb.cols {
+		partitionReg(rb.cols[f][lo:hi], rb.scratch, rb.goesLeft, nl)
+	}
+	partitionIdx(rb.idx[lo:hi], rb.idxTmp, rb.goesLeft, nl)
 	return &regNode{
 		feature:   bestFeat,
 		threshold: bestThr,
-		left:      fitReg(x, y, left, depth+1, maxDepth, minLeaf),
-		right:     fitReg(x, y, right, depth+1, maxDepth, minLeaf),
+		left:      rb.build(lo, lo+nl, depth+1),
+		right:     rb.build(lo+nl, hi, depth+1),
 	}
 }
 
-// Fit implements Classifier.
+// partitionReg stably splits col into left-going then right-going samples.
+func partitionReg(col []regSample, scratch []regSample, goesLeft []bool, nl int) {
+	scratch = scratch[:0]
+	w := 0
+	for _, s := range col {
+		if goesLeft[s.i] {
+			col[w] = s
+			w++
+		} else {
+			scratch = append(scratch, s)
+		}
+	}
+	copy(col[nl:], scratch)
+}
+
+// partitionIdx stably splits ids, preserving ascending order on both sides.
+func partitionIdx(ids []int32, scratch []int32, goesLeft []bool, nl int) {
+	scratch = scratch[:0]
+	w := 0
+	for _, i := range ids {
+		if goesLeft[i] {
+			ids[w] = i
+			w++
+		} else {
+			scratch = append(scratch, i)
+		}
+	}
+	copy(ids[nl:], scratch)
+}
+
+// presortReg sorts every feature column of x once.
+func presortReg(x [][]float64) [][]regSample {
+	n := len(x)
+	nf := 0
+	if n > 0 {
+		nf = len(x[0])
+	}
+	master := make([][]regSample, nf)
+	for f := 0; f < nf; f++ {
+		col := make([]regSample, n)
+		for i := 0; i < n; i++ {
+			col[i] = regSample{v: x[i][f], i: int32(i)}
+		}
+		// Sample index breaks value ties: a deterministic total order, so
+		// the presort is independent of the sort algorithm.
+		slices.SortFunc(col, func(a, b regSample) int {
+			switch {
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			default:
+				return int(a.i) - int(b.i)
+			}
+		})
+		master[f] = col
+	}
+	return master
+}
+
+// Fit implements Classifier. The feature columns are presorted once and
+// shared by every boosting round and every one-vs-rest ensemble; the
+// ensembles are independent and fit in parallel on a GOMAXPROCS-bounded pool
+// with per-class state, so the fitted model is deterministic for any worker
+// count. Fit does not modify the exported configuration fields.
 func (g *GradientBoosting) Fit(d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
-	if g.Trees <= 0 {
-		g.Trees = 100
+	rounds := g.Trees
+	if rounds <= 0 {
+		rounds = 100
 	}
-	if g.Depth <= 0 {
-		g.Depth = 3
+	depth := g.Depth
+	if depth <= 0 {
+		depth = 3
 	}
-	if g.LearningRate <= 0 {
-		g.LearningRate = 0.1
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.1
 	}
-	if g.MinLeaf <= 0 {
-		g.MinLeaf = 4
+	minLeaf := g.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 4
 	}
+	g.lr = lr
 	g.numClasses = d.NumClasses()
 	ensembles := 1
 	if g.numClasses > 2 {
@@ -157,50 +286,69 @@ func (g *GradientBoosting) Fit(d *Dataset) error {
 	g.ensembles = make([][]*regTree, ensembles)
 	g.base = make([]float64, ensembles)
 
-	idx := make([]int, d.Len())
-	for i := range idx {
-		idx[i] = i
+	master := presortReg(d.X)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > ensembles {
+		workers = ensembles
 	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
 	for c := 0; c < ensembles; c++ {
-		// Binary target for this ensemble.
-		target := make([]float64, d.Len())
-		pos := 0
-		for i, y := range d.Y {
-			hit := (ensembles == 1 && y == 1) || (ensembles > 1 && y == c)
-			if hit {
-				target[i] = 1
-				pos++
-			}
-		}
-		// Prior log-odds.
-		p := (float64(pos) + 0.5) / (float64(d.Len()) + 1)
-		g.base[c] = math.Log(p / (1 - p))
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			g.ensembles[c], g.base[c] = fitEnsemble(d, master, c, ensembles, rounds, depth, lr, minLeaf)
+		}(c)
+	}
+	wg.Wait()
+	return nil
+}
 
-		score := make([]float64, d.Len())
-		for i := range score {
-			score[i] = g.base[c]
-		}
-		resid := make([]float64, d.Len())
-		for round := 0; round < g.Trees; round++ {
-			for i := range resid {
-				resid[i] = target[i] - sigmoid(score[i])
-			}
-			tree := &regTree{minLeaf: g.MinLeaf, depth: g.Depth}
-			tree.root = fitReg(d.X, resid, idx, 0, g.Depth, g.MinLeaf)
-			g.ensembles[c] = append(g.ensembles[c], tree)
-			for i := range score {
-				score[i] += g.LearningRate * tree.predict(d.X[i])
-			}
+// fitEnsemble fits the one-vs-rest ensemble for class c.
+func fitEnsemble(d *Dataset, master [][]regSample, c, ensembles, rounds, depth int, lr float64, minLeaf int) ([]*regTree, float64) {
+	// Binary target for this ensemble.
+	target := make([]float64, d.Len())
+	pos := 0
+	for i, y := range d.Y {
+		hit := (ensembles == 1 && y == 1) || (ensembles > 1 && y == c)
+		if hit {
+			target[i] = 1
+			pos++
 		}
 	}
-	return nil
+	// Prior log-odds.
+	p := (float64(pos) + 0.5) / (float64(d.Len()) + 1)
+	base := math.Log(p / (1 - p))
+
+	score := make([]float64, d.Len())
+	for i := range score {
+		score[i] = base
+	}
+	resid := make([]float64, d.Len())
+	rb := newRegBuilder(d.X, master, depth, minLeaf)
+	trees := make([]*regTree, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		for i := range resid {
+			resid[i] = target[i] - sigmoid(score[i])
+		}
+		tree := &regTree{minLeaf: minLeaf, depth: depth}
+		tree.root = rb.fit(resid)
+		tree.flat = compileRegTree(tree.root)
+		trees = append(trees, tree)
+		for i := range score {
+			score[i] += lr * tree.predict(d.X[i])
+		}
+	}
+	return trees, base
 }
 
 // score returns the raw ensemble output for class c.
 func (g *GradientBoosting) score(c int, x []float64) float64 {
 	s := g.base[c]
 	for _, t := range g.ensembles[c] {
-		s += g.LearningRate * t.predict(x)
+		s += g.lr * t.predict(x)
 	}
 	return s
 }
@@ -223,4 +371,49 @@ func (g *GradientBoosting) Predict(x []float64) int {
 		}
 	}
 	return best
+}
+
+// PredictBatch implements BatchPredictor: it classifies every row of X into
+// out (reused when its capacity suffices) with no per-sample allocation. The
+// score accumulation visits trees in fit order per sample, so the result
+// equals calling Predict per row.
+func (g *GradientBoosting) PredictBatch(X [][]float64, out []int) []int {
+	out = resizeInts(out, len(X))
+	if len(g.ensembles) == 0 || len(X) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	ne := len(g.ensembles)
+	scores := make([]float64, len(X)*ne)
+	for c := 0; c < ne; c++ {
+		for s := range X {
+			scores[s*ne+c] = g.base[c]
+		}
+		for _, t := range g.ensembles[c] {
+			for s, x := range X {
+				scores[s*ne+c] += g.lr * t.predict(x)
+			}
+		}
+	}
+	for s := range X {
+		row := scores[s*ne : (s+1)*ne]
+		if ne == 1 {
+			if row[0] >= 0 {
+				out[s] = 1
+			} else {
+				out[s] = 0
+			}
+			continue
+		}
+		best, bestV := 0, math.Inf(-1)
+		for c, v := range row {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		out[s] = best
+	}
+	return out
 }

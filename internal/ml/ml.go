@@ -103,8 +103,29 @@ type Classifier interface {
 	Predict(x []float64) int
 }
 
-// PredictAll applies a fitted classifier to every row of d.
+// BatchPredictor is implemented by classifiers with an allocation-free batch
+// prediction path. PredictBatch fills out (reused when its capacity
+// suffices) with the predicted class of every row of X and returns it; the
+// result equals calling Predict per row.
+type BatchPredictor interface {
+	PredictBatch(X [][]float64, out []int) []int
+}
+
+// resizeInts returns out resized to n, reusing its backing array when large
+// enough.
+func resizeInts(out []int, n int) []int {
+	if cap(out) < n {
+		return make([]int, n)
+	}
+	return out[:n]
+}
+
+// PredictAll applies a fitted classifier to every row of d, using the batch
+// path when the classifier provides one.
 func PredictAll(c Classifier, d *Dataset) []int {
+	if bp, ok := c.(BatchPredictor); ok {
+		return bp.PredictBatch(d.X, nil)
+	}
 	out := make([]int, d.Len())
 	for i, row := range d.X {
 		out[i] = c.Predict(row)

@@ -35,27 +35,62 @@ type NeuralNet struct {
 // Name implements Classifier.
 func (n *NeuralNet) Name() string { return "dnn" }
 
-// Fit implements Classifier.
+// nnScratch holds the per-sample forward/backward buffers so one training
+// run performs no per-sample allocation.
+type nnScratch struct {
+	acts   [][]float64 // acts[l] = post-activation output of layer l
+	masks  [][]float64 // dropout masks for the hidden layers
+	deltas [][]float64 // deltas[l] = gradient at layer l's output
+}
+
+func newNNScratch(weights [][][]float64) *nnScratch {
+	nLayers := len(weights)
+	sc := &nnScratch{
+		acts:   make([][]float64, nLayers),
+		masks:  make([][]float64, nLayers),
+		deltas: make([][]float64, nLayers),
+	}
+	for l := 0; l < nLayers; l++ {
+		width := len(weights[l])
+		sc.acts[l] = make([]float64, width)
+		sc.deltas[l] = make([]float64, width)
+		if l < nLayers-1 {
+			sc.masks[l] = make([]float64, width)
+		}
+	}
+	return sc
+}
+
+// Fit implements Classifier. Gradient and scratch buffers are allocated once
+// and reused across samples and batches; the arithmetic and the RNG call
+// sequence (weight init, epoch shuffles, per-unit dropout draws) match the
+// naive per-sample-allocation implementation exactly. Fit does not modify
+// the exported configuration fields.
 func (n *NeuralNet) Fit(d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
-	if n.Hidden == [3]int{} {
-		n.Hidden = [3]int{32, 16, 8}
+	hidden := n.Hidden
+	if hidden == [3]int{} {
+		hidden = [3]int{32, 16, 8}
 	}
-	if n.Dropout == 0 {
-		n.Dropout = 0.2
-	} else if n.Dropout < 0 {
-		n.Dropout = 0
+	dropout := n.Dropout
+	if dropout == 0 {
+		dropout = 0.2
+	} else if dropout < 0 {
+		dropout = 0
 	}
-	if n.Epochs <= 0 {
-		n.Epochs = 200
+	epochs := n.Epochs
+	if epochs <= 0 {
+		epochs = 200
 	}
-	if n.BatchSize <= 0 {
-		n.BatchSize = 32
+	batchSize := n.BatchSize
+	if batchSize <= 0 {
+		batchSize = 32
 	}
-	if n.LearningRate <= 0 {
-		n.LearningRate = 1e-3
+	learningRate := n.LearningRate
+	if learningRate <= 0 {
+		learningRate = 1e-3
 	}
 	n.scaler = FitScaler(d)
 	scaled := n.scaler.ApplyAll(d)
@@ -65,7 +100,7 @@ func (n *NeuralNet) Fit(d *Dataset) error {
 	} else {
 		n.outDim = n.classes
 	}
-	dims := []int{d.NumFeatures(), n.Hidden[0], n.Hidden[1], n.Hidden[2], n.outDim}
+	dims := []int{d.NumFeatures(), hidden[0], hidden[1], hidden[2], n.outDim}
 	rng := rand.New(rand.NewSource(n.Seed ^ 0xdeed))
 
 	// He initialization for the ReLU layers, Xavier for the output.
@@ -77,10 +112,9 @@ func (n *NeuralNet) Fit(d *Dataset) error {
 		if l == len(dims)-2 {
 			scale = math.Sqrt(1 / float64(in))
 		}
-		n.weights[l] = make([][]float64, out)
+		n.weights[l] = allocRows(out, in)
 		n.biases[l] = make([]float64, out)
 		for o := 0; o < out; o++ {
-			n.weights[l][o] = make([]float64, in)
 			for i := 0; i < in; i++ {
 				n.weights[l][o][i] = rng.NormFloat64() * scale
 			}
@@ -98,35 +132,40 @@ func (n *NeuralNet) Fit(d *Dataset) error {
 		order[i] = i
 	}
 	nLayers := len(n.weights)
-	for epoch := 0; epoch < n.Epochs; epoch++ {
+	gW, gB := zerosLike(n.weights), zerosLikeB(n.biases)
+	sc := newNNScratch(n.weights)
+	for epoch := 0; epoch < epochs; epoch++ {
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
-		for start := 0; start < len(order); start += n.BatchSize {
-			end := start + n.BatchSize
+		for start := 0; start < len(order); start += batchSize {
+			end := start + batchSize
 			if end > len(order) {
 				end = len(order)
 			}
 			batch := order[start:end]
-			gW, gB := zerosLike(n.weights), zerosLikeB(n.biases)
+			zeroGrads(gW, gB)
 			for _, idx := range batch {
-				n.backprop(scaled.X[idx], scaled.Y[idx], gW, gB, rng)
+				n.backprop(scaled.X[idx], scaled.Y[idx], gW, gB, rng, dropout, sc)
 			}
 			step++
 			bs := float64(len(batch))
-			lr := n.LearningRate
+			lr := learningRate
 			bc1 := 1 - math.Pow(beta1, float64(step))
 			bc2 := 1 - math.Pow(beta2, float64(step))
 			for l := 0; l < nLayers; l++ {
-				for o := range n.weights[l] {
-					for i := range n.weights[l][o] {
-						g := gW[l][o][i] / bs
-						mW[l][o][i] = beta1*mW[l][o][i] + (1-beta1)*g
-						vW[l][o][i] = beta2*vW[l][o][i] + (1-beta2)*g*g
-						n.weights[l][o][i] -= lr * (mW[l][o][i] / bc1) / (math.Sqrt(vW[l][o][i]/bc2) + eps)
+				wl, gWl, mWl, vWl := n.weights[l], gW[l], mW[l], vW[l]
+				bl, gBl, mBl, vBl := n.biases[l], gB[l], mB[l], vB[l]
+				for o := range wl {
+					w, gr, mr, vr := wl[o], gWl[o], mWl[o], vWl[o]
+					for i := range w {
+						g := gr[i] / bs
+						mr[i] = beta1*mr[i] + (1-beta1)*g
+						vr[i] = beta2*vr[i] + (1-beta2)*g*g
+						w[i] -= lr * (mr[i] / bc1) / (math.Sqrt(vr[i]/bc2) + eps)
 					}
-					g := gB[l][o] / bs
-					mB[l][o] = beta1*mB[l][o] + (1-beta1)*g
-					vB[l][o] = beta2*vB[l][o] + (1-beta2)*g*g
-					n.biases[l][o] -= lr * (mB[l][o] / bc1) / (math.Sqrt(vB[l][o]/bc2) + eps)
+					g := gBl[o] / bs
+					mBl[o] = beta1*mBl[o] + (1-beta1)*g
+					vBl[o] = beta2*vBl[o] + (1-beta2)*g*g
+					bl[o] -= lr * (mBl[o] / bc1) / (math.Sqrt(vBl[o]/bc2) + eps)
 				}
 			}
 		}
@@ -134,13 +173,25 @@ func (n *NeuralNet) Fit(d *Dataset) error {
 	return nil
 }
 
+// allocRows carves `out` row slices of length `in` from one contiguous block,
+// so a layer's weights (and gradients, and Adam state) stay cache-dense.
+func allocRows(out, in int) [][]float64 {
+	buf := make([]float64, out*in)
+	rows := make([][]float64, out)
+	for o := range rows {
+		rows[o] = buf[o*in : (o+1)*in : (o+1)*in]
+	}
+	return rows
+}
+
 func zerosLike(w [][][]float64) [][][]float64 {
 	out := make([][][]float64, len(w))
 	for l := range w {
-		out[l] = make([][]float64, len(w[l]))
-		for o := range w[l] {
-			out[l][o] = make([]float64, len(w[l][o]))
+		in := 0
+		if len(w[l]) > 0 {
+			in = len(w[l][0])
 		}
+		out[l] = allocRows(len(w[l]), in)
 	}
 	return out
 }
@@ -153,35 +204,49 @@ func zerosLikeB(b [][]float64) [][]float64 {
 	return out
 }
 
+func zeroGrads(gW [][][]float64, gB [][]float64) {
+	for l := range gW {
+		for o := range gW[l] {
+			row := gW[l][o]
+			for i := range row {
+				row[i] = 0
+			}
+		}
+		b := gB[l]
+		for o := range b {
+			b[o] = 0
+		}
+	}
+}
+
 // backprop accumulates gradients for one sample into gW/gB, applying
-// inverted dropout on hidden activations during training.
-func (n *NeuralNet) backprop(x []float64, label int, gW [][][]float64, gB [][]float64, rng *rand.Rand) {
+// inverted dropout on hidden activations during training. All intermediate
+// state lives in sc.
+func (n *NeuralNet) backprop(x []float64, label int, gW [][][]float64, gB [][]float64, rng *rand.Rand, dropout float64, sc *nnScratch) {
 	nLayers := len(n.weights)
-	acts := make([][]float64, nLayers+1) // post-activation per layer
-	masks := make([][]float64, nLayers)  // dropout masks for hidden layers
-	acts[0] = x
+	in := x
 	for l := 0; l < nLayers; l++ {
-		in := acts[l]
-		out := make([]float64, len(n.weights[l]))
-		for o := range n.weights[l] {
-			s := n.biases[l][o]
-			w := n.weights[l][o]
-			for i := range w {
-				s += w[i] * in[i]
+		out := sc.acts[l]
+		wl, bl := n.weights[l], n.biases[l]
+		for o := range wl {
+			s := bl[o]
+			w := wl[o]
+			for i, wi := range w {
+				s += wi * in[i]
 			}
 			out[o] = s
 		}
 		if l < nLayers-1 {
 			// ReLU + inverted dropout.
-			mask := make([]float64, len(out))
-			keep := 1 - n.Dropout
+			mask := sc.masks[l]
+			keep := 1 - dropout
 			for o := range out {
 				if out[o] < 0 {
 					out[o] = 0
 				}
 				m := 1.0
-				if n.Dropout > 0 {
-					if rng.Float64() < n.Dropout {
+				if dropout > 0 {
+					if rng.Float64() < dropout {
 						m = 0
 					} else {
 						m = 1 / keep
@@ -190,18 +255,17 @@ func (n *NeuralNet) backprop(x []float64, label int, gW [][][]float64, gB [][]fl
 				mask[o] = m
 				out[o] *= m
 			}
-			masks[l] = mask
 		} else if n.outDim == 1 {
 			out[0] = sigmoid(out[0])
 		} else {
 			softmaxInPlace(out)
 		}
-		acts[l+1] = out
+		in = out
 	}
 
 	// Output delta for cross-entropy with sigmoid/softmax: p - y.
-	last := acts[nLayers]
-	delta := make([]float64, len(last))
+	last := sc.acts[nLayers-1]
+	delta := sc.deltas[nLayers-1]
 	if n.outDim == 1 {
 		t := 0.0
 		if label == 1 {
@@ -216,29 +280,37 @@ func (n *NeuralNet) backprop(x []float64, label int, gW [][][]float64, gB [][]fl
 	}
 
 	for l := nLayers - 1; l >= 0; l-- {
-		in := acts[l]
-		for o := range n.weights[l] {
-			gB[l][o] += delta[o]
-			w := n.weights[l][o]
-			for i := range w {
-				gW[l][o][i] += delta[o] * in[i]
+		in := x
+		if l > 0 {
+			in = sc.acts[l-1]
+		}
+		wl, gWl, gBl := n.weights[l], gW[l], gB[l]
+		for o := range wl {
+			do := delta[o]
+			gBl[o] += do
+			gRow := gWl[o]
+			for i, iv := range in {
+				gRow[i] += do * iv
 			}
 		}
 		if l == 0 {
 			break
 		}
-		prev := make([]float64, len(acts[l]))
+		act := sc.acts[l-1]
+		mask := sc.masks[l-1]
+		prev := sc.deltas[l-1]
 		for i := range prev {
-			// acts[l][i] > 0 implies both relu'(z)=1 and mask>0; in every
+			// act[i] > 0 implies both relu'(z)=1 and mask>0; in every
 			// other case the gradient through this unit is zero.
-			if acts[l][i] <= 0 {
-				continue
+			p := 0.0
+			if act[i] > 0 {
+				var s float64
+				for o := range wl {
+					s += wl[o][i] * delta[o]
+				}
+				p = s * mask[i]
 			}
-			var s float64
-			for o := range n.weights[l] {
-				s += n.weights[l][o][i] * delta[o]
-			}
-			prev[i] = s * masks[l-1][i]
+			prev[i] = p
 		}
 		delta = prev
 	}
@@ -263,17 +335,19 @@ func softmaxInPlace(v []float64) {
 	}
 }
 
-// forward runs inference (no dropout).
-func (n *NeuralNet) forward(x []float64) []float64 {
+// forwardInto runs inference (no dropout) using sc's activation buffers and
+// returns the output layer's buffer.
+func (n *NeuralNet) forwardInto(x []float64, sc *nnScratch) []float64 {
 	act := x
 	nLayers := len(n.weights)
 	for l := 0; l < nLayers; l++ {
-		out := make([]float64, len(n.weights[l]))
-		for o := range n.weights[l] {
-			s := n.biases[l][o]
-			w := n.weights[l][o]
-			for i := range w {
-				s += w[i] * act[i]
+		out := sc.acts[l]
+		wl, bl := n.weights[l], n.biases[l]
+		for o := range wl {
+			s := bl[o]
+			w := wl[o]
+			for i, wi := range w {
+				s += wi * act[i]
 			}
 			if l < nLayers-1 && s < 0 {
 				s = 0
@@ -292,12 +366,13 @@ func (n *NeuralNet) forward(x []float64) []float64 {
 	return act
 }
 
-// Predict implements Classifier.
-func (n *NeuralNet) Predict(x []float64) int {
-	if n.scaler == nil {
-		return 0
-	}
-	p := n.forward(n.scaler.Apply(x))
+// forward runs inference (no dropout).
+func (n *NeuralNet) forward(x []float64) []float64 {
+	return n.forwardInto(x, newNNScratch(n.weights))
+}
+
+// argmaxProb maps an output activation vector to a class.
+func (n *NeuralNet) argmaxProb(p []float64) int {
 	if n.outDim == 1 {
 		if p[0] >= 0.5 {
 			return 1
@@ -311,4 +386,32 @@ func (n *NeuralNet) Predict(x []float64) int {
 		}
 	}
 	return best
+}
+
+// Predict implements Classifier.
+func (n *NeuralNet) Predict(x []float64) int {
+	if n.scaler == nil {
+		return 0
+	}
+	return n.argmaxProb(n.forward(n.scaler.Apply(x)))
+}
+
+// PredictBatch implements BatchPredictor: it classifies every row of X into
+// out (reused when its capacity suffices), standardizing and forwarding
+// through one reused set of activation buffers.
+func (n *NeuralNet) PredictBatch(X [][]float64, out []int) []int {
+	out = resizeInts(out, len(X))
+	if n.scaler == nil {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	xs := make([]float64, len(n.scaler.Mean))
+	sc := newNNScratch(n.weights)
+	for i, x := range X {
+		n.scaler.ApplyInto(x, xs)
+		out[i] = n.argmaxProb(n.forwardInto(xs, sc))
+	}
+	return out
 }

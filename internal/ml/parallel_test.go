@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// forestBytes serializes a fitted forest so two fits can be compared byte for
+// byte.
+func forestBytes(t *testing.T, f *RandomForest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestForestParallelMatchesSequential checks the forest determinism contract:
+// the fitted trees, predictions, and Gini importances are byte-identical for
+// any worker count, because bootstrap samples and per-tree seeds are drawn up
+// front and aggregation happens in tree order.
+func TestForestParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1234} {
+		train := threeClassData(240, seed)
+		test := threeClassData(90, seed+1000)
+		ref := &RandomForest{NumTrees: 24, MaxDepth: 8, Seed: seed, Workers: 1}
+		if err := ref.Fit(train); err != nil {
+			t.Fatalf("seed %d: sequential fit: %v", seed, err)
+		}
+		refBytes := forestBytes(t, ref)
+		refImp := ref.GiniImportance()
+		refPred := PredictAll(ref, test)
+
+		for _, workers := range []int{2, 3, 8} {
+			par := &RandomForest{NumTrees: 24, MaxDepth: 8, Seed: seed, Workers: workers}
+			if err := par.Fit(train); err != nil {
+				t.Fatalf("seed %d workers %d: fit: %v", seed, workers, err)
+			}
+			if !bytes.Equal(refBytes, forestBytes(t, par)) {
+				t.Errorf("seed %d: workers=%d forest differs from workers=1", seed, workers)
+			}
+			for i, v := range par.GiniImportance() {
+				if v != refImp[i] {
+					t.Errorf("seed %d: workers=%d importance[%d] = %v, want %v", seed, workers, i, v, refImp[i])
+				}
+			}
+			for i, p := range PredictAll(par, test) {
+				if p != refPred[i] {
+					t.Errorf("seed %d: workers=%d prediction[%d] = %d, want %d", seed, workers, i, p, refPred[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict checks that every classifier's batch path
+// returns exactly what per-sample Predict returns, including when the caller
+// reuses an output buffer with spare capacity.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	train := threeClassData(180, 5)
+	test := threeClassData(60, 6)
+	classifiers := []Classifier{
+		&DecisionTree{MaxDepth: 8},
+		&RandomForest{NumTrees: 20, MaxDepth: 8, Seed: 5},
+		&SVM{Kernel: LinearKernel, C: 1, Seed: 5},
+		&SVM{Kernel: RBFKernel, C: 10, Gamma: 2, Seed: 5},
+		&NeuralNet{Epochs: 60, Seed: 5},
+		&GradientBoosting{Trees: 25, Depth: 3},
+	}
+	for _, c := range classifiers {
+		if err := c.Fit(train); err != nil {
+			t.Fatalf("%s: fit: %v", c.Name(), err)
+		}
+		bp, ok := c.(BatchPredictor)
+		if !ok {
+			t.Fatalf("%s: does not implement BatchPredictor", c.Name())
+		}
+		got := bp.PredictBatch(test.X, nil)
+		if len(got) != test.Len() {
+			t.Fatalf("%s: batch returned %d predictions for %d rows", c.Name(), len(got), test.Len())
+		}
+		for i, x := range test.X {
+			if want := c.Predict(x); got[i] != want {
+				t.Errorf("%s: batch[%d] = %d, Predict = %d", c.Name(), i, got[i], want)
+			}
+		}
+		// Reusing an oversized buffer must give the same answers in place.
+		reused := make([]int, 0, 2*test.Len())
+		reused = bp.PredictBatch(test.X, reused)
+		for i, p := range got {
+			if reused[i] != p {
+				t.Errorf("%s: reused-buffer batch[%d] = %d, want %d", c.Name(), i, reused[i], p)
+			}
+		}
+	}
+}
+
+// TestPredictProbaBatchMatchesProba checks the forest's row-major batch vote
+// distribution against the per-sample Proba path.
+func TestPredictProbaBatchMatchesProba(t *testing.T) {
+	train := threeClassData(180, 9)
+	test := threeClassData(45, 10)
+	rf := &RandomForest{NumTrees: 20, MaxDepth: 8, Seed: 9}
+	if err := rf.Fit(train); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	nc := rf.NumClasses()
+	probs := rf.PredictProbaBatch(test.X, nil)
+	if len(probs) != test.Len()*nc {
+		t.Fatalf("batch returned %d values, want %d", len(probs), test.Len()*nc)
+	}
+	for i, x := range test.X {
+		want := rf.Proba(x)
+		for c, p := range want {
+			if probs[i*nc+c] != p {
+				t.Errorf("row %d class %d: batch %v, Proba %v", i, c, probs[i*nc+c], p)
+			}
+		}
+	}
+}
+
+// ExampleRandomForest_PredictBatch demonstrates the allocation-free batch
+// inference path.
+func ExampleRandomForest_PredictBatch() {
+	train := threeClassData(120, 3)
+	rf := &RandomForest{NumTrees: 15, Seed: 3}
+	if err := rf.Fit(train); err != nil {
+		panic(err)
+	}
+	out := rf.PredictBatch(train.X[:4], nil)
+	fmt.Println(len(out))
+	// Output: 4
+}

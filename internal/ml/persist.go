@@ -125,7 +125,9 @@ func ReadForestJSON(r io.Reader) (*RandomForest, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ml: tree %d: %w", i, err)
 		}
-		f.trees = append(f.trees, &DecisionTree{root: root})
+		// Compile for inference so a loaded forest predicts as fast as a
+		// freshly fitted one.
+		f.trees = append(f.trees, &DecisionTree{root: root, flat: compileTree(root)})
 	}
 	if len(f.trees) == 0 {
 		return nil, fmt.Errorf("ml: forest has no trees")

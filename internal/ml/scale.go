@@ -42,10 +42,16 @@ func FitScaler(d *Dataset) *Scaler {
 // Apply returns the standardized copy of x.
 func (s *Scaler) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for j, v := range x {
-		out[j] = (v - s.Mean[j]) / s.Std[j]
-	}
+	s.ApplyInto(x, out)
 	return out
+}
+
+// ApplyInto standardizes x into dst (which must have len(x) elements),
+// allowing batch callers to reuse one scratch vector.
+func (s *Scaler) ApplyInto(x, dst []float64) {
+	for j, v := range x {
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
+	}
 }
 
 // ApplyAll returns a standardized copy of the dataset (labels shared).

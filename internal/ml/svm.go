@@ -3,6 +3,7 @@ package ml
 import (
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Kernel selects the SVM kernel. The paper tries "both linear and non-linear
@@ -84,19 +85,23 @@ func (m *binarySVM) decision(x []float64) float64 {
 // Name implements Classifier.
 func (s *SVM) Name() string { return "svm-" + s.Kernel.String() }
 
-// Fit implements Classifier.
+// Fit implements Classifier. Fit does not modify the exported configuration
+// fields.
 func (s *SVM) Fit(d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
-	if s.C <= 0 {
-		s.C = 1
+	c := s.C
+	if c <= 0 {
+		c = 1
 	}
-	if s.MaxPasses <= 0 {
-		s.MaxPasses = 5
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 5
 	}
-	if s.Tol <= 0 {
-		s.Tol = 1e-3
+	tol := s.Tol
+	if tol <= 0 {
+		tol = 1e-3
 	}
 	gamma := s.Gamma
 	if gamma <= 0 {
@@ -116,28 +121,33 @@ func (s *SVM) Fit(d *Dataset) error {
 				y[i] = -1
 			}
 		}
-		s.machines = []*binarySVM{s.trainBinary(scaled.X, y, gamma, rng)}
+		s.machines = []*binarySVM{trainBinary(scaled.X, y, s.Kernel, gamma, c, tol, maxPasses, rng)}
 		return nil
 	}
 	s.machines = make([]*binarySVM, s.numClasses)
-	for c := 0; c < s.numClasses; c++ {
+	for cls := 0; cls < s.numClasses; cls++ {
 		y := make([]float64, scaled.Len())
 		for i, label := range scaled.Y {
-			if label == c {
+			if label == cls {
 				y[i] = 1
 			} else {
 				y[i] = -1
 			}
 		}
-		s.machines[c] = s.trainBinary(scaled.X, y, gamma, rng)
+		s.machines[cls] = trainBinary(scaled.X, y, s.Kernel, gamma, c, tol, maxPasses, rng)
 	}
 	return nil
 }
 
-// trainBinary runs simplified SMO (Platt 1998 / Stanford CS229 variant).
-func (s *SVM) trainBinary(x [][]float64, y []float64, gamma float64, rng *rand.Rand) *binarySVM {
+// trainBinary runs simplified SMO (Platt 1998 / Stanford CS229 variant). The
+// decision-value sum iterates a sorted active set of nonzero alphas with
+// alpha_j*y_j precomputed — the same terms in the same ascending-j order as
+// a full scan, so the trained machine is bit-identical to one — and training
+// stops outright once a pass sees no KKT violation, since every further pass
+// would change nothing and consume no randomness.
+func trainBinary(x [][]float64, y []float64, kernel Kernel, gamma, c, tol float64, maxPasses int, rng *rand.Rand) *binarySVM {
 	n := len(x)
-	m := &binarySVM{kernel: s.Kernel, gamma: gamma}
+	m := &binarySVM{kernel: kernel, gamma: gamma}
 	alpha := make([]float64, n)
 	b := 0.0
 
@@ -152,22 +162,101 @@ func (s *SVM) trainBinary(x [][]float64, y []float64, gamma float64, rng *rand.R
 			k[j][i] = v
 		}
 	}
-	f := func(i int) float64 {
-		s := b
-		for j := 0; j < n; j++ {
-			if alpha[j] != 0 {
-				s += alpha[j] * y[j] * k[i][j]
-			}
+
+	// The active set lists samples with alpha != 0 in ascending order; actAY
+	// packs the matching alpha_j*y_j values so the decision sum reads them
+	// sequentially and only the kernel row is gathered.
+	active := make([]int32, 0, n)
+	actAY := make([]float64, 0, n)
+	setAlpha := func(i int, v float64) {
+		was := alpha[i] != 0
+		alpha[i] = v
+		now := v != 0
+		if !was && !now {
+			return
 		}
+		pos := sort.Search(len(active), func(p int) bool { return active[p] >= int32(i) })
+		switch {
+		case was && now:
+			actAY[pos] = v * y[i]
+		case now:
+			active = append(active, 0)
+			actAY = append(actAY, 0)
+			copy(active[pos+1:], active[pos:])
+			copy(actAY[pos+1:], actAY[pos:])
+			active[pos] = int32(i)
+			actAY[pos] = v * y[i]
+		default:
+			active = append(active[:pos], active[pos+1:]...)
+			actAY = append(actAY[:pos], actAY[pos+1:]...)
+		}
+	}
+	// f values are cached per epoch: any alpha or b update bumps the epoch,
+	// so a cached value is only ever reused while the solver state is exactly
+	// the state it was computed under. Stagnant passes (the convergence tail,
+	// where nothing changes for several full scans) then cost one comparison
+	// per sample instead of a full kernel-row sum.
+	fcache := make([]float64, n)
+	fEpoch := make([]int, n)
+	epoch := 1
+	f := func(i int) float64 {
+		if fEpoch[i] == epoch {
+			return fcache[i]
+		}
+		s := b
+		ki := k[i]
+		av := actAY[:len(active)]
+		for t, j := range active {
+			s += av[t] * ki[j]
+		}
+		fcache[i] = s
+		fEpoch[i] = epoch
 		return s
 	}
 
+	// fill4 computes f for up to four stale samples at and after i0 in one
+	// pass over the active set. Each sample accumulates in its own chain in
+	// the same ascending order as f, so every stored value is bit-identical
+	// to an on-demand computation; the four independent chains merely hide
+	// FP-add latency, which bounds this loop.
+	fill4 := func(i0 int) {
+		var ids [4]int
+		cnt := 0
+		for w := i0; w < n && cnt < 4; w++ {
+			if fEpoch[w] != epoch {
+				ids[cnt] = w
+				cnt++
+			}
+		}
+		for t := cnt; t < 4; t++ {
+			ids[t] = ids[cnt-1]
+		}
+		k0, k1, k2, k3 := k[ids[0]], k[ids[1]], k[ids[2]], k[ids[3]]
+		s0, s1, s2, s3 := b, b, b, b
+		av := actAY[:len(active)]
+		for t, j := range active {
+			a := av[t]
+			s0 += a * k0[j]
+			s1 += a * k1[j]
+			s2 += a * k2[j]
+			s3 += a * k3[j]
+		}
+		fcache[ids[0]], fEpoch[ids[0]] = s0, epoch
+		fcache[ids[1]], fEpoch[ids[1]] = s1, epoch
+		fcache[ids[2]], fEpoch[ids[2]] = s2, epoch
+		fcache[ids[3]], fEpoch[ids[3]] = s3, epoch
+	}
+
 	passes := 0
-	for passes < s.MaxPasses {
-		changed := 0
+	for passes < maxPasses {
+		changed, violated := 0, 0
 		for i := 0; i < n; i++ {
-			ei := f(i) - y[i]
-			if (y[i]*ei < -s.Tol && alpha[i] < s.C) || (y[i]*ei > s.Tol && alpha[i] > 0) {
+			if fEpoch[i] != epoch {
+				fill4(i)
+			}
+			ei := fcache[i] - y[i]
+			if (y[i]*ei < -tol && alpha[i] < c) || (y[i]*ei > tol && alpha[i] > 0) {
+				violated++
 				j := rng.Intn(n - 1)
 				if j >= i {
 					j++
@@ -177,10 +266,10 @@ func (s *SVM) trainBinary(x [][]float64, y []float64, gamma float64, rng *rand.R
 				var lo, hi float64
 				if y[i] != y[j] {
 					lo = math.Max(0, aj-ai)
-					hi = math.Min(s.C, s.C+aj-ai)
+					hi = math.Min(c, c+aj-ai)
 				} else {
-					lo = math.Max(0, ai+aj-s.C)
-					hi = math.Min(s.C, ai+aj)
+					lo = math.Max(0, ai+aj-c)
+					hi = math.Min(c, ai+aj)
 				}
 				if lo == hi {
 					continue
@@ -189,30 +278,39 @@ func (s *SVM) trainBinary(x [][]float64, y []float64, gamma float64, rng *rand.R
 				if eta >= 0 {
 					continue
 				}
-				alpha[j] = aj - y[j]*(ei-ej)/eta
-				if alpha[j] > hi {
-					alpha[j] = hi
-				} else if alpha[j] < lo {
-					alpha[j] = lo
+				ajNew := aj - y[j]*(ei-ej)/eta
+				if ajNew > hi {
+					ajNew = hi
+				} else if ajNew < lo {
+					ajNew = lo
 				}
-				if math.Abs(alpha[j]-aj) < 1e-5 {
+				if math.Abs(ajNew-aj) < 1e-5 {
 					continue
 				}
-				alpha[i] = ai + y[i]*y[j]*(aj-alpha[j])
-				b1 := b - ei - y[i]*(alpha[i]-ai)*k[i][i] - y[j]*(alpha[j]-aj)*k[i][j]
-				b2 := b - ej - y[i]*(alpha[i]-ai)*k[i][j] - y[j]*(alpha[j]-aj)*k[j][j]
+				aiNew := ai + y[i]*y[j]*(aj-ajNew)
+				setAlpha(j, ajNew)
+				setAlpha(i, aiNew)
+				b1 := b - ei - y[i]*(aiNew-ai)*k[i][i] - y[j]*(ajNew-aj)*k[i][j]
+				b2 := b - ej - y[i]*(aiNew-ai)*k[i][j] - y[j]*(ajNew-aj)*k[j][j]
 				switch {
-				case alpha[i] > 0 && alpha[i] < s.C:
+				case aiNew > 0 && aiNew < c:
 					b = b1
-				case alpha[j] > 0 && alpha[j] < s.C:
+				case ajNew > 0 && ajNew < c:
 					b = b2
 				default:
 					b = (b1 + b2) / 2
 				}
+				epoch++
 				changed++
 			}
 		}
 		if changed == 0 {
+			if violated == 0 {
+				// Fully KKT-feasible: every remaining pass would see the
+				// same decision values, change nothing, and draw no random
+				// partners, so the outcome is already final.
+				break
+			}
 			passes++
 		} else {
 			passes = 0
@@ -235,6 +333,11 @@ func (s *SVM) Predict(x []float64) int {
 		return 0
 	}
 	xs := s.scaler.Apply(x)
+	return s.predictScaled(xs)
+}
+
+// predictScaled classifies an already-standardized feature vector.
+func (s *SVM) predictScaled(xs []float64) int {
 	if s.numClasses <= 2 {
 		if s.machines[0].decision(xs) >= 0 {
 			return 1
@@ -248,4 +351,23 @@ func (s *SVM) Predict(x []float64) int {
 		}
 	}
 	return best
+}
+
+// PredictBatch implements BatchPredictor: it classifies every row of X into
+// out (reused when its capacity suffices), standardizing each row into one
+// shared scratch vector so no per-sample allocation remains.
+func (s *SVM) PredictBatch(X [][]float64, out []int) []int {
+	out = resizeInts(out, len(X))
+	if len(s.machines) == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	xs := make([]float64, len(s.scaler.Mean))
+	for i, x := range X {
+		s.scaler.ApplyInto(x, xs)
+		out[i] = s.predictScaled(xs)
+	}
+	return out
 }

@@ -4,7 +4,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Criterion selects the impurity measure used to grow trees. The paper tries
@@ -80,6 +81,7 @@ type DecisionTree struct {
 	Rng *rand.Rand
 
 	root       *treeNode
+	flat       flatTree
 	importance []float64
 	nFeatures  int
 	nSamples   int
@@ -88,53 +90,160 @@ type DecisionTree struct {
 // Name implements Classifier.
 func (t *DecisionTree) Name() string { return "decision-tree" }
 
-// Fit implements Classifier.
+// Fit implements Classifier. Each feature column is sorted once up front;
+// the sorted index arrays are then partitioned in place down the tree, so a
+// node costs O(features·samples) instead of O(features·samples·log samples).
+// Splits, thresholds, and importances are identical to a per-node re-sort:
+// the scan accumulates integer class counts and only evaluates positions
+// between distinct values, so tie order within a sorted run cannot affect
+// the outcome. Fit does not modify the exported configuration fields.
 func (t *DecisionTree) Fit(d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
-	if t.MaxDepth <= 0 {
-		t.MaxDepth = 8
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 8
 	}
-	if t.MinLeaf <= 0 {
-		t.MinLeaf = 2
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
 	}
 	t.nFeatures = d.NumFeatures()
 	t.nSamples = d.Len()
-	t.importance = make([]float64, t.nFeatures)
-	idx := make([]int, d.Len())
-	for i := range idx {
-		idx[i] = i
-	}
 	nc := d.NumClasses()
 	if nc < 2 {
 		nc = 2
 	}
-	t.root = t.build(d, idx, 0, nc)
+	b := treeBuilderPool.Get().(*treeBuilder)
+	b.init(d, maxDepth, minLeaf, t.Criterion, t.MaxFeatures, t.Rng, nc)
+	t.root = b.build(0, d.Len(), 0)
+	t.importance = make([]float64, t.nFeatures)
+	copy(t.importance, b.importance)
+	b.release()
+	t.flat = compileTree(t.root)
 	return nil
 }
 
-// majority returns the most frequent class among idx.
-func majority(d *Dataset, idx []int, numClasses int) int {
-	counts := make([]int, numClasses)
-	for _, i := range idx {
-		counts[d.Y[i]]++
-	}
-	best, bestN := 0, -1
-	for c, n := range counts {
-		if n > bestN {
-			best, bestN = c, n
-		}
-	}
-	return best
+// sortedSample is one (value, label, sample) triple of a presorted feature
+// column.
+type sortedSample struct {
+	v float64
+	y int32
+	i int32
 }
 
-func classCounts(d *Dataset, idx []int, numClasses int) []int {
-	counts := make([]int, numClasses)
-	for _, i := range idx {
-		counts[d.Y[i]]++
+// treeBuilder holds one Fit invocation's state: resolved hyperparameters,
+// presorted per-feature columns, and reusable scratch. Builders are pooled so
+// a forest fit reuses the same buffers across trees.
+type treeBuilder struct {
+	x          [][]float64
+	maxDepth   int
+	minLeaf    int
+	maxFeat    int
+	criterion  Criterion
+	rng        *rand.Rand
+	numClasses int
+	nSamples   int
+
+	// cols[f] holds the node samples sorted ascending by feature f; every
+	// node owns the same contiguous range [lo, hi) in all columns, which
+	// splits partition stably in place.
+	cols        [][]sortedSample
+	scratch     []sortedSample
+	goesLeft    []bool
+	features    []int
+	counts      []int
+	leftCounts  []int
+	rightCounts []int
+	importance  []float64
+}
+
+var treeBuilderPool = sync.Pool{New: func() any { return new(treeBuilder) }}
+
+func (b *treeBuilder) init(d *Dataset, maxDepth, minLeaf int, crit Criterion, maxFeat int, rng *rand.Rand, numClasses int) {
+	n := d.Len()
+	nf := d.NumFeatures()
+	b.x = d.X
+	b.maxDepth = maxDepth
+	b.minLeaf = minLeaf
+	b.maxFeat = maxFeat
+	b.criterion = crit
+	b.rng = rng
+	b.numClasses = numClasses
+	b.nSamples = n
+
+	if cap(b.cols) < nf {
+		b.cols = make([][]sortedSample, nf)
 	}
-	return counts
+	b.cols = b.cols[:nf]
+	for f := 0; f < nf; f++ {
+		if cap(b.cols[f]) < n {
+			b.cols[f] = make([]sortedSample, n)
+		}
+		col := b.cols[f][:n]
+		b.cols[f] = col
+		for i := 0; i < n; i++ {
+			col[i] = sortedSample{v: d.X[i][f], y: int32(d.Y[i]), i: int32(i)}
+		}
+		// Sample index breaks value ties: a deterministic total order, so
+		// the presort is independent of the sort algorithm.
+		slices.SortFunc(col, func(a, c sortedSample) int {
+			switch {
+			case a.v < c.v:
+				return -1
+			case a.v > c.v:
+				return 1
+			default:
+				return int(a.i) - int(c.i)
+			}
+		})
+	}
+	b.scratch = growSamples(b.scratch, n)
+	b.goesLeft = growBools(b.goesLeft, n)
+	b.features = growInts(b.features, nf)
+	b.counts = growInts(b.counts, numClasses)
+	b.leftCounts = growInts(b.leftCounts, numClasses)
+	b.rightCounts = growInts(b.rightCounts, numClasses)
+	b.importance = growFloats(b.importance, nf)
+	for i := range b.importance {
+		b.importance[i] = 0
+	}
+}
+
+// release drops the dataset references and returns the builder to the pool.
+func (b *treeBuilder) release() {
+	b.x = nil
+	b.rng = nil
+	treeBuilderPool.Put(b)
+}
+
+func growSamples(s []sortedSample, n int) []sortedSample {
+	if cap(s) < n {
+		return make([]sortedSample, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 func pure(counts []int) bool {
@@ -147,91 +256,119 @@ func pure(counts []int) bool {
 	return nonzero <= 1
 }
 
-// build grows the tree recursively.
-func (t *DecisionTree) build(d *Dataset, idx []int, depth, numClasses int) *treeNode {
-	counts := classCounts(d, idx, numClasses)
-	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf || pure(counts) {
-		return &treeNode{isLeaf: true, class: majority(d, idx, numClasses)}
-	}
-	feat, thr, gain, ok := t.bestSplit(d, idx, counts, numClasses)
-	if !ok {
-		return &treeNode{isLeaf: true, class: majority(d, idx, numClasses)}
-	}
-	var left, right []int
-	for _, i := range idx {
-		if d.X[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+// argmaxCount returns the first class with the maximal count.
+func argmaxCount(counts []int) int {
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
 		}
 	}
-	if len(left) < t.MinLeaf || len(right) < t.MinLeaf {
-		return &treeNode{isLeaf: true, class: majority(d, idx, numClasses)}
+	return best
+}
+
+// build grows the tree over the column range [lo, hi).
+func (b *treeBuilder) build(lo, hi, depth int) *treeNode {
+	n := hi - lo
+	counts := b.counts
+	for c := range counts {
+		counts[c] = 0
+	}
+	for _, s := range b.cols[0][lo:hi] {
+		counts[s.y]++
+	}
+	if depth >= b.maxDepth || n < 2*b.minLeaf || pure(counts) {
+		return &treeNode{isLeaf: true, class: argmaxCount(counts)}
+	}
+	feat, thr, gain, ok := b.bestSplit(lo, hi, counts)
+	if !ok {
+		return &treeNode{isLeaf: true, class: argmaxCount(counts)}
+	}
+	nl := 0
+	for _, s := range b.cols[feat][lo:hi] {
+		gl := s.v <= thr
+		b.goesLeft[s.i] = gl
+		if gl {
+			nl++
+		}
+	}
+	if nl < b.minLeaf || n-nl < b.minLeaf {
+		return &treeNode{isLeaf: true, class: argmaxCount(counts)}
 	}
 	// Weighted impurity decrease contributes to Gini importance.
-	t.importance[feat] += gain * float64(len(idx)) / float64(t.nSamples)
+	b.importance[feat] += gain * float64(n) / float64(b.nSamples)
+	for f := range b.cols {
+		b.partition(b.cols[f][lo:hi], nl)
+	}
 	return &treeNode{
 		feature:   feat,
 		threshold: thr,
-		left:      t.build(d, left, depth+1, numClasses),
-		right:     t.build(d, right, depth+1, numClasses),
+		left:      b.build(lo, lo+nl, depth+1),
+		right:     b.build(lo+nl, hi, depth+1),
 	}
 }
 
-// bestSplit finds the (feature, threshold) pair with maximal impurity
-// decrease via a single sorted scan per feature.
-func (t *DecisionTree) bestSplit(d *Dataset, idx []int, parentCounts []int, numClasses int) (feat int, thr, gain float64, ok bool) {
-	n := len(idx)
-	parentImp := t.Criterion.impurity(parentCounts, n)
+// partition stably splits col into left-going then right-going samples, so
+// both halves remain sorted by the column's feature value.
+func (b *treeBuilder) partition(col []sortedSample, nl int) {
+	scratch := b.scratch[:0]
+	w := 0
+	for _, s := range col {
+		if b.goesLeft[s.i] {
+			col[w] = s
+			w++
+		} else {
+			scratch = append(scratch, s)
+		}
+	}
+	copy(col[nl:], scratch)
+}
 
-	features := make([]int, t.nFeatures)
+// bestSplit finds the (feature, threshold) pair with maximal impurity
+// decrease via a single scan of each presorted column.
+func (b *treeBuilder) bestSplit(lo, hi int, parentCounts []int) (feat int, thr, gain float64, ok bool) {
+	n := hi - lo
+	parentImp := b.criterion.impurity(parentCounts, n)
+
+	features := b.features
 	for f := range features {
 		features[f] = f
 	}
-	if t.Rng != nil {
-		t.Rng.Shuffle(len(features), func(a, b int) { features[a], features[b] = features[b], features[a] })
+	if b.rng != nil {
+		b.rng.Shuffle(len(features), func(a, c int) { features[a], features[c] = features[c], features[a] })
 	}
 	limit := len(features)
-	if t.MaxFeatures > 0 && t.MaxFeatures < limit {
-		limit = t.MaxFeatures
+	if b.maxFeat > 0 && b.maxFeat < limit {
+		limit = b.maxFeat
 	}
 
-	type fv struct {
-		v float64
-		y int
-	}
-	vals := make([]fv, n)
-	leftCounts := make([]int, numClasses)
-	rightCounts := make([]int, numClasses)
-
+	leftCounts, rightCounts := b.leftCounts, b.rightCounts
 	bestGain := 1e-12
 	found := false
 	for _, f := range features[:limit] {
-		for k, i := range idx {
-			vals[k] = fv{v: d.X[i][f], y: d.Y[i]}
-		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		col := b.cols[f][lo:hi]
 		for c := range leftCounts {
 			leftCounts[c] = 0
 		}
 		copy(rightCounts, parentCounts)
 		for k := 0; k < n-1; k++ {
-			leftCounts[vals[k].y]++
-			rightCounts[vals[k].y]--
-			if vals[k].v == vals[k+1].v {
+			y := col[k].y
+			leftCounts[y]++
+			rightCounts[y]--
+			if col[k].v == col[k+1].v {
 				continue
 			}
 			nl, nr := k+1, n-k-1
-			if nl < t.MinLeaf || nr < t.MinLeaf {
+			if nl < b.minLeaf || nr < b.minLeaf {
 				continue
 			}
-			imp := (float64(nl)*t.Criterion.impurity(leftCounts, nl) +
-				float64(nr)*t.Criterion.impurity(rightCounts, nr)) / float64(n)
+			imp := (float64(nl)*b.criterion.impurity(leftCounts, nl) +
+				float64(nr)*b.criterion.impurity(rightCounts, nr)) / float64(n)
 			g := parentImp - imp
 			if g > bestGain {
 				bestGain = g
 				feat = f
-				thr = (vals[k].v + vals[k+1].v) / 2
+				thr = (col[k].v + col[k+1].v) / 2
 				found = true
 			}
 		}
@@ -244,6 +381,9 @@ func (t *DecisionTree) bestSplit(d *Dataset, idx []int, parentCounts []int, numC
 
 // Predict implements Classifier.
 func (t *DecisionTree) Predict(x []float64) int {
+	if len(t.flat.nodes) > 0 {
+		return t.flat.predict(x)
+	}
 	n := t.root
 	if n == nil {
 		return 0
@@ -256,6 +396,22 @@ func (t *DecisionTree) Predict(x []float64) int {
 		}
 	}
 	return n.class
+}
+
+// PredictBatch implements BatchPredictor: it classifies every row of X into
+// out (reused when its capacity suffices) with no per-sample allocation.
+func (t *DecisionTree) PredictBatch(X [][]float64, out []int) []int {
+	out = resizeInts(out, len(X))
+	if len(t.flat.nodes) == 0 && t.root == nil {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	for i, x := range X {
+		out[i] = t.Predict(x)
+	}
+	return out
 }
 
 // Importance returns the (unnormalized) total impurity decrease attributed

@@ -84,7 +84,20 @@ func lobeGain(thetaDeg, centerDeg, peakDB, width3dBDeg float64) float64 {
 // angDiffDeg returns the absolute angular difference in degrees, wrapped to
 // [0, 180].
 func angDiffDeg(a, b float64) float64 {
-	d := math.Mod(a-b, 360)
+	d := a - b
+	// Reduce into (-360, 360) without math.Mod: angles here are sums of an
+	// atan2 result, a mechanical orientation, and a lobe offset, so |d| is
+	// almost always < 720, where a single +-360 step equals Mod exactly
+	// (Sterbenz: the operands are within a factor of two).
+	if d >= 360 || d <= -360 {
+		if d >= 720 || d <= -720 {
+			d = math.Mod(d, 360)
+		} else if d > 0 {
+			d -= 360
+		} else {
+			d += 360
+		}
+	}
 	if d < -180 {
 		d += 360
 	} else if d > 180 {
