@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet lint bench check
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,18 @@ race:
 vet:
 	$(GO) vet ./...
 
+# lint runs the libra-lint analyzer suite (determinism, dbunits, configmut,
+# floatreduce — see DESIGN.md "Static analysis & enforced invariants").
+lint:
+	$(GO) run ./cmd/libra-lint ./...
+
 # bench records a dated BENCH_<date>.json snapshot of the paper-reproduction
-# benchmarks and diffs it against the previous snapshot (10% threshold).
-bench:
+# benchmarks and diffs it against the previous snapshot (10% threshold). A
+# lint-dirty tree refuses to snapshot: numbers recorded off a tree that
+# breaks the determinism contracts are not reproducible evidence.
+bench: lint
 	$(GO) run ./cmd/libra-bench -bench 'Table1|Table2|CrossValidation|ForestFit|PredictBatch|SectorSweep|ClassifierInference|PolicyEntry' -benchtime 1x
 
-# check is the pre-merge gate: static analysis plus the race-enabled suite.
-check: vet race
+# check is the pre-merge gate: static analysis (vet + libra-lint) plus the
+# race-enabled suite.
+check: vet lint race

@@ -1,0 +1,72 @@
+// Command libra-lint is the repo's merge-gate multichecker: it runs the
+// internal/analysis suite — determinism, dbunits, configmut, floatreduce —
+// over the packages matched by its arguments (default ./...) and exits
+// non-zero if any invariant is violated.
+//
+// Usage:
+//
+//	libra-lint [-list] [packages]
+//
+// Suppress a single finding with a justified comment on (or immediately
+// above) the offending line:
+//
+//	t0 := time.Now() //lint:ignore determinism wall-clock benchmark label only
+//
+// or a whole file with //lint:file-ignore <analyzer> <reason>. The reason is
+// mandatory; an unexplained suppression is ignored and the finding stands.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/libra-wlan/libra/internal/analysis"
+	"github.com/libra-wlan/libra/internal/analysis/configmut"
+	"github.com/libra-wlan/libra/internal/analysis/dbunits"
+	"github.com/libra-wlan/libra/internal/analysis/determinism"
+	"github.com/libra-wlan/libra/internal/analysis/floatreduce"
+)
+
+// Analyzers is the full libra-lint suite, in the order findings are
+// attributed.
+var Analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	dbunits.Analyzer,
+	configmut.Analyzer,
+	floatreduce.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: libra-lint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the LiBRA static-analysis suite (default packages: ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analysis.Run(".", patterns, Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "libra-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s\n", f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "libra-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

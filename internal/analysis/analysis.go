@@ -1,0 +1,64 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of the
+// core golang.org/x/tools/go/analysis API surface (Analyzer, Pass,
+// Diagnostic) plus a `go list -export`-backed package loader and a
+// multichecker driver. It exists because the repo vendors no third-party
+// modules: the linters under internal/analysis/... machine-enforce the
+// determinism, unit-safety, and config-immutability contracts that the
+// parallel campaign and ML engines promise, and they must build from a bare
+// toolchain.
+//
+// The API mirrors x/tools closely enough that the analyzers themselves (and
+// their analysistest-style golden tests) could be ported to the upstream
+// framework by swapping import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, a doc string describing the
+// invariant it guards, and a Run function applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore <name> reason" suppression comments.
+	Name string
+
+	// Doc is the one-paragraph description shown by `libra-lint -help`.
+	Doc string
+
+	// Run applies the check to one type-checked package. Diagnostics are
+	// delivered through pass.Report; the result value is unused by the
+	// driver and exists only for API compatibility.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass is one (analyzer, package) unit of work, carrying the syntax trees
+// and type information the analyzer inspects.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs a collector
+	// here; analyzers usually call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned against the shared FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Message string
+}

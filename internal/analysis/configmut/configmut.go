@@ -1,0 +1,113 @@
+// Package configmut enforces the config-immutability contract on model
+// training entry points: a Fit/Train method may read its receiver's exported
+// configuration fields (NumTrees, MaxDepth, Workers, ...) but must never
+// write them — defaults are resolved into locals. Writing resolved defaults
+// back changes the semantics of a second Fit and races with concurrent
+// readers of the config; the ML engine's byte-identical re-fit guarantee
+// depends on the config being inert.
+package configmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/libra-wlan/libra/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "configmut",
+	Doc: "forbids Fit/Train methods from assigning to exported fields " +
+		"reachable from their receiver (the configuration surface); resolve " +
+		"defaults into locals instead of writing them back",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Fit" && fd.Name.Name != "Train" {
+				continue
+			}
+			recv := receiverObject(pass, fd)
+			if recv == nil {
+				continue
+			}
+			checkBody(pass, fd, recv)
+		}
+	}
+	return nil, nil
+}
+
+// receiverObject returns the *types.Var of the method's receiver, or nil
+// for anonymous receivers (which cannot be written through anyway).
+func receiverObject(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(fd.Recv.List[0].Names[0])
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				report(pass, fd, recv, lhs)
+			}
+		case *ast.IncDecStmt:
+			report(pass, fd, recv, n.X)
+		case *ast.UnaryExpr:
+			// Taking the address of a config field hands out a mutable
+			// alias — the write just happens elsewhere.
+			if n.Op == token.AND {
+				if field := exportedConfigField(pass, recv, n.X); field != "" {
+					pass.Reportf(n.Pos(),
+						"%s takes the address of exported config field %s; aliasing defeats the config-immutability contract", fd.Name.Name, field)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object, lhs ast.Expr) {
+	if field := exportedConfigField(pass, recv, lhs); field != "" {
+		pass.Reportf(lhs.Pos(),
+			"%s writes exported config field %s of its receiver; resolve the default into a local instead", fd.Name.Name, field)
+	}
+}
+
+// exportedConfigField returns the printable field path when expr writes
+// through the receiver into an exported field (r.Exported, r.Exported.X,
+// r.Exported[i], ...); the first selector step after the receiver decides:
+// exported fields form the public configuration surface, unexported fields
+// (fitted state) are the method's to mutate.
+func exportedConfigField(pass *analysis.Pass, recv types.Object, expr ast.Expr) string {
+	e := ast.Unparen(expr)
+	// Walk down to the selector whose X is the receiver identifier.
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(v.X).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == recv {
+				if v.Sel.IsExported() {
+					return id.Name + "." + v.Sel.Name
+				}
+				return ""
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}

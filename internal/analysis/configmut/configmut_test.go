@@ -1,0 +1,12 @@
+package configmut_test
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/analysis/analysistest"
+	"github.com/libra-wlan/libra/internal/analysis/configmut"
+)
+
+func TestConfigMut(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), configmut.Analyzer, "configmutfix")
+}

@@ -1,0 +1,64 @@
+// Package configmutfix seeds config-mutation violations in Fit/Train methods
+// (want-annotated) alongside the sanctioned resolve-into-locals idiom.
+package configmutfix
+
+type tuning struct{ Rate float64 }
+
+type model struct {
+	// Exported fields are the configuration surface: inert during Fit.
+	MaxDepth int
+	Workers  int
+	Tuning   tuning
+
+	// Unexported fields are fitted state: the method's to mutate.
+	trees  []int
+	fitted bool
+}
+
+// --- positives -----------------------------------------------------------
+
+func (m *model) Fit(n int) error {
+	if m.MaxDepth <= 0 {
+		m.MaxDepth = 8 // want `Fit writes exported config field m\.MaxDepth`
+	}
+	m.Workers++          // want `Fit writes exported config field m\.Workers`
+	m.Tuning.Rate = 0.05 // want `Fit writes exported config field m\.Tuning`
+	p := &m.MaxDepth     // want `Fit takes the address of exported config field m\.MaxDepth`
+	_ = p
+	m.trees = append(m.trees, n)
+	m.fitted = true
+	return nil
+}
+
+type trainer struct {
+	Epochs int
+	loss   float64
+}
+
+func (tr *trainer) Train() {
+	tr.Epochs += 1 // want `Train writes exported config field tr\.Epochs`
+	tr.loss = 0
+}
+
+// --- negatives -----------------------------------------------------------
+
+type cleanModel struct {
+	MaxDepth int
+	history  []float64
+}
+
+// Fit resolves defaults into locals and mutates only unexported state.
+func (c *cleanModel) Fit(n int) error {
+	maxDepth := c.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	c.history = append(c.history, float64(maxDepth*n))
+	return nil
+}
+
+// Methods outside the Fit/Train contract may reconfigure freely.
+func (c *cleanModel) SetMaxDepth(d int) { c.MaxDepth = d }
+
+// Reads of exported config are the whole point: unflagged.
+func (c *cleanModel) Train() int { return c.MaxDepth }

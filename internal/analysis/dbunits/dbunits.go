@@ -1,0 +1,208 @@
+// Package dbunits machine-enforces the decibel/linear naming convention the
+// channel code leans on: identifiers carrying a dB-family suffix (dB, dBm,
+// dBi, DB, Db...) hold logarithmic power quantities, identifiers carrying a
+// Lin suffix (or lin prefix) hold linear ones. Adding a dB value to a linear
+// value, or multiplying two dB values, is a unit error that type-checks
+// fine and corrupts every downstream SNR — exactly the silent drift the
+// linter exists to stop.
+package dbunits
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"github.com/libra-wlan/libra/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "dbunits",
+	Doc: "flags +/- expressions mixing dB-suffixed and Lin-suffixed operands, " +
+		"and multiplication of two dB-suffixed operands (dB quantities add; " +
+		"linear quantities multiply)",
+	Run: run,
+}
+
+type unit int
+
+const (
+	unknown unit = iota
+	db
+	lin
+)
+
+func (u unit) String() string {
+	switch u {
+	case db:
+		return "dB-domain"
+	case lin:
+		return "linear-domain"
+	}
+	return "unitless"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			// Unit discipline is about power arithmetic: only numeric
+			// operands participate.
+			if !isNumeric(pass.TypesInfo.TypeOf(be.X)) || !isNumeric(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			ux, uy := unitOf(be.X), unitOf(be.Y)
+			switch be.Op {
+			case token.ADD, token.SUB:
+				if (ux == db && uy == lin) || (ux == lin && uy == db) {
+					pass.Reportf(be.OpPos,
+						"%q mixes %s %s and %s %s; convert with dsp.Lin/dsp.DB before combining",
+						be.Op, ux, describe(be.X), uy, describe(be.Y))
+				}
+			case token.MUL:
+				if ux == db && uy == db {
+					pass.Reportf(be.OpPos,
+						"multiplying dB-domain %s by dB-domain %s; dB values add — multiply the linear forms instead",
+						describe(be.X), describe(be.Y))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// unitOf infers the power-domain unit of an expression from the naming
+// convention. It recurses through parens, unary +/- , indexing, selectors,
+// calls (a function's name declares its result unit: dsp.Lin(x) is linear,
+// SNRdB() is dB), and same-unit +/- chains.
+func unitOf(e ast.Expr) unit {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return classify(v.Name)
+	case *ast.SelectorExpr:
+		return classify(v.Sel.Name)
+	case *ast.IndexExpr:
+		return unitOf(v.X)
+	case *ast.ParenExpr:
+		return unitOf(v.X)
+	case *ast.StarExpr:
+		return unitOf(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.ADD || v.Op == token.SUB {
+			return unitOf(v.X)
+		}
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(v.Fun).(type) {
+		case *ast.Ident:
+			return classify(fun.Name)
+		case *ast.SelectorExpr:
+			return classify(fun.Sel.Name)
+		}
+	case *ast.BinaryExpr:
+		if v.Op == token.ADD || v.Op == token.SUB {
+			if ux, uy := unitOf(v.X), unitOf(v.Y); ux == uy {
+				return ux
+			}
+		}
+	}
+	return unknown
+}
+
+// classify maps an identifier to its unit by suffix. dB-family suffixes:
+// dB, DB, Db optionally followed by a scale letter (m, i, c) — TxPowerDBm,
+// LossDB, FloorDBi, snrdB. Linear: a trailing "Lin"/"Linear" camel-case
+// word, a "lin" prefix (linBase, linGain), or the bare names lin/linear.
+func classify(name string) unit {
+	if isLinName(name) {
+		return lin
+	}
+	if isDBName(name) {
+		return db
+	}
+	return unknown
+}
+
+func isDBName(name string) bool {
+	s := name
+	// Strip one optional scale letter: dBm, dBi, dBc and capitalized kin.
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'm', 'i', 'c':
+			if n >= 3 && isDBTail(s[:n-1]) {
+				return true
+			}
+		}
+	}
+	return isDBTail(s)
+}
+
+// isDBTail reports whether s ends in a dB-family token: "dB", "DB", or "Db".
+// A lowercase-d variant must not be the tail of an ordinary word ("holdb"
+// is not a unit), so "db" alone only counts when preceded by a lowercase
+// letter boundary is impossible — require a case break or short name.
+func isDBTail(s string) bool {
+	n := len(s)
+	if n < 2 {
+		return false
+	}
+	tail := s[n-2:]
+	switch tail {
+	case "dB", "DB", "Db":
+	default:
+		return false
+	}
+	if n == 2 {
+		return true
+	}
+	prev := rune(s[n-3])
+	// "sumDB", "snrdB", "pathLossDB" — accept any letter/digit boundary
+	// except an uppercase run before "Db"/"dB" that would make the match a
+	// word fragment is still unit-like in this codebase's naming.
+	return unicode.IsLetter(prev) || unicode.IsDigit(prev) || prev == '_'
+}
+
+func isLinName(name string) bool {
+	switch strings.ToLower(name) {
+	case "lin", "linear":
+		return true
+	}
+	if strings.HasSuffix(name, "Lin") || strings.HasSuffix(name, "Linear") {
+		return true
+	}
+	// lin-prefixed camelCase: linBase, linGain — but not "line", "link",
+	// "linspace": the prefix must be followed by an uppercase letter.
+	if strings.HasPrefix(name, "lin") && len(name) > 3 {
+		return unicode.IsUpper(rune(name[3]))
+	}
+	return false
+}
+
+// describe renders the operand for the diagnostic message.
+func describe(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return describe(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return describe(v.X) + "[...]"
+	case *ast.CallExpr:
+		return describe(v.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + describe(v.X) + ")"
+	}
+	return "expression"
+}
+
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

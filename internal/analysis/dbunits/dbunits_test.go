@@ -1,0 +1,12 @@
+package dbunits_test
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/analysis/analysistest"
+	"github.com/libra-wlan/libra/internal/analysis/dbunits"
+)
+
+func TestDBUnits(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), dbunits.Analyzer, "dbfix")
+}

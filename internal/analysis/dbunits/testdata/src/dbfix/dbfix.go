@@ -1,0 +1,73 @@
+// Package dbfix seeds dB/linear unit violations (want-annotated) alongside
+// the correct power-arithmetic idioms mirrored from internal/channel.
+package dbfix
+
+// Lin and DB stand in for dsp.Lin / dsp.DB: a function's name declares the
+// unit of its result.
+func Lin(vDB float64) float64 { return vDB }
+func DB(vLin float64) float64 { return vLin }
+
+type link struct {
+	TxPowerDBm float64
+	ImplLossDB float64
+	noiseLin   float64
+}
+
+// --- positives -----------------------------------------------------------
+
+func mixAddition(gainDB, fadeLin float64) float64 {
+	return gainDB + fadeLin // want `mixes dB-domain gainDB and linear-domain fadeLin`
+}
+
+func mixSubtraction(sigLin, pathLossDB float64) float64 {
+	return sigLin - pathLossDB // want `mixes linear-domain sigLin and dB-domain pathLossDB`
+}
+
+func mixThroughFields(l *link) float64 {
+	return l.TxPowerDBm + l.noiseLin // want `mixes dB-domain l\.TxPowerDBm and linear-domain l\.noiseLin`
+}
+
+func mixThroughIndex(floorDB []float64, gLin float64, i int) float64 {
+	return floorDB[i] + gLin // want `mixes dB-domain floorDB\[\.\.\.\] and linear-domain gLin`
+}
+
+func mixThroughCalls(l *link) float64 {
+	return Lin(l.TxPowerDBm) + snrDB(l) // want `mixes linear-domain Lin\(\.\.\.\) and dB-domain snrDB\(\.\.\.\)`
+}
+
+func dbProduct(txGainDBi, rxGainDBi float64) float64 {
+	return txGainDBi * rxGainDBi // want `multiplying dB-domain txGainDBi by dB-domain rxGainDBi`
+}
+
+// --- negatives -----------------------------------------------------------
+
+func snrDB(l *link) float64 {
+	// dB quantities add and subtract freely among themselves.
+	return l.TxPowerDBm - l.ImplLossDB
+}
+
+func linkBudget(l *link, pathLossDB, fadeLin float64) float64 {
+	// Convert before combining: subtract in dB, multiply in linear.
+	return Lin(l.TxPowerDBm-l.ImplLossDB-pathLossDB) * fadeLin
+}
+
+func snrLin(sigLin, noiseLin float64) float64 {
+	// Linear quantities multiply and divide freely among themselves.
+	return sigLin / noiseLin
+}
+
+func offsetDB(snrdB float64) float64 {
+	// Unitless literals may shift a dB value.
+	return snrdB + 3.0
+}
+
+func scaleLin(hLin float64, n int) float64 {
+	// Unitless counts may scale a linear value.
+	return hLin * float64(n)
+}
+
+func prefixWords(linkCount int, holdb []byte) int {
+	// "linkCount" is not linear and "holdb" is not a decibel: word
+	// fragments must not classify.
+	return linkCount + len(holdb)
+}

@@ -1,0 +1,293 @@
+// Package determinism forbids wall-clock and process-global randomness in
+// the reproduction pipeline. The campaign and ML engines promise
+// byte-identical output for any worker count; that contract dies the moment
+// a package reads time.Now, draws from the global math/rand source, or folds
+// map-iteration order into a float accumulation or a slice. Seeded
+// *rand.Rand values must be plumbed in explicitly.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/libra-wlan/libra/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbids time.Now, global math/rand draws, wall-clock rand seeds, and " +
+		"iteration-order-dependent accumulation over map ranges in the library " +
+		"packages (internal/..., examples/..., and the root package); cmd/ " +
+		"binaries are exempt",
+	Run: run,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared process-wide source. Constructors (New, NewSource, NewZipf) are
+// fine: they produce plumbable generators.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// sortFuncs recognizes the "collect keys, then sort" idiom that launders
+// map-iteration order back into a deterministic sequence.
+var sortFuncs = map[string]bool{
+	// package sort
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	// package slices
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if exemptPackage(pass.Pkg) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// exemptPackage exempts command binaries: dated bench snapshots and
+// wall-clock progress reporting are their job. Everything else — the
+// library, internal engines, and runnable examples — must be reproducible.
+func exemptPackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return strings.Contains(pkg.Path()+"/", "/cmd/")
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	switch callee.Pkg().Path() {
+	case "time":
+		if callee.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now makes output wall-clock-dependent; plumb an explicit timestamp or derive times from the simulation clock")
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[callee.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the process-global source; plumb a seeded *rand.Rand instead", callee.Name())
+		}
+		if callee.Name() == "NewSource" && containsTimeCall(pass, call) {
+			pass.Reportf(call.Pos(),
+				"rand.NewSource seeded from the wall clock is unreproducible; derive the seed from configuration")
+		}
+	}
+}
+
+// calleeFunc resolves a call to a package-level *types.Func, or nil for
+// method calls, conversions, and locals.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(id).(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// containsTimeCall reports whether any call to a time-package function
+// occurs inside e (e.g. rand.NewSource(time.Now().UnixNano())).
+func containsTimeCall(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkMapRange flags range-over-map bodies whose effects depend on
+// iteration order: appending to an outer slice (unless the slice is sorted
+// later in the same function) or accumulating into an outer float. Integer
+// accumulation and map-to-map writes are order-independent and stay legal.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				checkFloatAccum(pass, rng, lhs)
+			}
+		case token.ASSIGN:
+			for i, lhs := range as.Lhs {
+				if i < len(as.Rhs) && isAppendTo(pass, lhs, as.Rhs[i]) {
+					checkOrderedAppend(pass, file, rng, lhs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkFloatAccum reports lhs op= ... when lhs is a float declared outside
+// the range statement: float addition is not associative, so the sum depends
+// on map iteration order.
+func checkFloatAccum(pass *analysis.Pass, rng *ast.RangeStmt, lhs ast.Expr) {
+	root := analysis.RootIdent(lhs)
+	if root == nil || !analysis.DeclaredOutside(pass, root, rng.Pos(), rng.End()) {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(lhs); t == nil || !isFloat(t) {
+		return
+	}
+	// Indexed writes (buf[key] += x) into an outer map/slice keyed by the
+	// range variable are order-independent per element; only scalar or
+	// fixed-cell accumulation depends on visit order. An index expression
+	// that itself varies per iteration is therefore exempt.
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && !constantWithinRange(pass, idx.Index, rng) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"float accumulation into %s inside range over a map depends on iteration order; iterate sorted keys or accumulate per key", root.Name)
+}
+
+// constantWithinRange reports whether the index expression is invariant
+// across iterations (only outer identifiers and literals), meaning every
+// iteration folds into the same cell.
+func constantWithinRange(pass *analysis.Pass, idx ast.Expr, rng *ast.RangeStmt) bool {
+	invariant := true
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil && obj.Pos() != token.NoPos &&
+			obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			invariant = false
+		}
+		return invariant
+	})
+	return invariant
+}
+
+// isAppendTo reports whether rhs is append(lhs, ...) growing the same
+// variable it is assigned to.
+func isAppendTo(pass *analysis.Pass, lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	lr, ar := analysis.RootIdent(lhs), analysis.RootIdent(call.Args[0])
+	return lr != nil && ar != nil &&
+		pass.TypesInfo.ObjectOf(lr) == pass.TypesInfo.ObjectOf(ar)
+}
+
+// checkOrderedAppend flags appends to an outer slice inside a map range
+// unless the enclosing function later sorts that slice ("collect then sort"
+// is the sanctioned way to walk a map deterministically).
+func checkOrderedAppend(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, lhs ast.Expr) {
+	root := analysis.RootIdent(lhs)
+	if root == nil || !analysis.DeclaredOutside(pass, root, rng.Pos(), rng.End()) {
+		return
+	}
+	// Per-key bucket appends (buckets[k] = append(buckets[k], v) with k the
+	// range variable) touch each bucket once per key: order-independent.
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && !constantWithinRange(pass, idx.Index, rng) {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if obj == nil || sortedAfter(pass, file, rng, obj) {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"append to %s inside range over a map records iteration order; sort %s afterwards or iterate sorted keys", root.Name, root.Name)
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function calls a sort/slices ordering function on obj.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	var fn ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= rng.Pos() && rng.End() <= n.End() {
+				fn = n // innermost wins: keep descending
+			}
+		}
+		return true
+	})
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if pkg := callee.Pkg().Path(); (pkg == "sort" || pkg == "slices") && sortFuncs[callee.Name()] {
+			for _, arg := range call.Args {
+				if r := analysis.RootIdent(arg); r != nil && pass.TypesInfo.ObjectOf(r) == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,104 @@
+// Package determfix seeds one violation per determinism rule (want-annotated)
+// next to the clean idiom that must stay unflagged.
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- positives -----------------------------------------------------------
+
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now makes output wall-clock-dependent`
+	return t.UnixNano()
+}
+
+func globalDraws() float64 {
+	n := rand.Intn(8)                  // want `rand\.Intn draws from the process-global source`
+	return rand.Float64() + float64(n) // want `rand\.Float64 draws from the process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the process-global source`
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time\.Now makes output wall-clock-dependent` `rand\.NewSource seeded from the wall clock`
+}
+
+func mapFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside range over a map`
+	}
+	return sum
+}
+
+func mapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over a map`
+	}
+	return keys
+}
+
+// --- negatives -----------------------------------------------------------
+
+// seeded generators plumbed in are the sanctioned source of randomness.
+func seededDraw(rng *rand.Rand) float64 { return rng.Float64() }
+
+func configSeed(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// collect-then-sort launders map order back into a deterministic sequence.
+func mapKeysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// integer accumulation commutes exactly: order-independent.
+func mapCount(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// per-key bucket appends touch each bucket exactly once.
+func mapBuckets(m map[string]float64) map[string][]float64 {
+	out := map[string][]float64{}
+	for k, v := range m {
+		out[k] = append(out[k], v)
+	}
+	return out
+}
+
+// per-key map writes are order-independent.
+func mapInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// float accumulation over a slice is ordered: fine.
+func sliceSum(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// a justified suppression silences the finding and documents why.
+func suppressed() int64 {
+	//lint:ignore determinism fixture demonstrates a justified suppression
+	return time.Now().UnixNano()
+}

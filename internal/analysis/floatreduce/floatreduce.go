@@ -1,0 +1,148 @@
+// Package floatreduce protects the byte-identical parallel-reduction
+// contract: goroutines must not fold results into a shared float or slice
+// captured from the enclosing scope, because completion order varies with
+// scheduling and float addition is not associative. The sanctioned shape —
+// used by the campaign engine, the forest fit, and the CV pool — is an
+// ordered per-worker (or per-item) buffer indexed by a slot the goroutine
+// owns, reduced in index order after the join.
+package floatreduce
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/libra-wlan/libra/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatreduce",
+	Doc: "flags goroutine closures that accumulate into a captured float " +
+		"scalar or append to a captured slice (scheduling-order-dependent " +
+		"reduction); write to an owned index of a preallocated buffer and " +
+		"reduce in order after the join",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				checkClosure(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		// Nested goroutine closures get their own visit from run.
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, lit, n)
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && capturedFloat(pass, lit, id) {
+				pass.Reportf(n.Pos(),
+					"goroutine increments captured float %s; completion order decides the result — use an ordered per-worker buffer", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, lit *ast.FuncLit, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			// Scalar accumulation into a captured float: the classic
+			// nondeterministic reduction. Indexed writes into a captured
+			// buffer (buf[slot] += x) are the sanctioned pattern when the
+			// goroutine owns the slot, so only bare identifiers count.
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && capturedFloat(pass, lit, id) {
+				pass.Reportf(lhs.Pos(),
+					"goroutine accumulates into captured float %s; completion order decides the sum — write buf[worker] and reduce in order after the join", id.Name)
+			}
+		}
+	case token.ASSIGN:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			// x = append(x, ...) on a captured slice interleaves results
+			// in completion order (and races on the header).
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok &&
+				capturedIdent(pass, lit, id) && isAppendTo(pass, id, as.Rhs[i]) {
+				pass.Reportf(lhs.Pos(),
+					"goroutine appends to captured slice %s; results interleave in completion order — preallocate and write an owned index", id.Name)
+			}
+			// x = x + v / x = x * v rewritten accumulation on a captured
+			// float scalar.
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok &&
+				capturedFloat(pass, lit, id) && selfReference(pass, id, as.Rhs[i]) {
+				pass.Reportf(lhs.Pos(),
+					"goroutine accumulates into captured float %s; completion order decides the sum — write buf[worker] and reduce in order after the join", id.Name)
+			}
+		}
+	}
+}
+
+// capturedIdent reports whether id resolves to a variable declared outside
+// the closure (a true capture, not a parameter or local).
+func capturedIdent(pass *analysis.Pass, lit *ast.FuncLit, id *ast.Ident) bool {
+	obj, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok {
+		return false
+	}
+	return analysis.DeclaredOutside(pass, id, lit.Pos(), lit.End()) && obj.Pkg() != nil
+}
+
+func capturedFloat(pass *analysis.Pass, lit *ast.FuncLit, id *ast.Ident) bool {
+	if !capturedIdent(pass, lit, id) {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(id)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isAppendTo(pass *analysis.Pass, lhs *ast.Ident, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	r := analysis.RootIdent(call.Args[0])
+	return r != nil && pass.TypesInfo.ObjectOf(r) == pass.TypesInfo.ObjectOf(lhs)
+}
+
+// selfReference reports whether rhs mentions the same object as lhs
+// (x = x + v), distinguishing accumulation from a plain overwrite.
+func selfReference(pass *analysis.Pass, lhs *ast.Ident, rhs ast.Expr) bool {
+	target := pass.TypesInfo.ObjectOf(lhs)
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package floatreduce_test
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/analysis/analysistest"
+	"github.com/libra-wlan/libra/internal/analysis/floatreduce"
+)
+
+func TestFloatReduce(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floatreduce.Analyzer, "floatreducefix")
+}

@@ -1,0 +1,127 @@
+// Package floatreducefix seeds scheduling-order-dependent reductions
+// (want-annotated) alongside the ordered per-worker buffer idiom the
+// campaign and ML engines use.
+package floatreducefix
+
+import "sync"
+
+// --- positives -----------------------------------------------------------
+
+func racySum(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			sum += x // want `goroutine accumulates into captured float sum`
+		}(x)
+	}
+	wg.Wait()
+	return sum
+}
+
+func racySumRewritten(xs []float64) float64 {
+	var total float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			// A mutex removes the data race but not the order dependence:
+			// float addition is not associative.
+			mu.Lock()
+			total = total + x // want `goroutine accumulates into captured float total`
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return total
+}
+
+func racyAppend(xs []float64) []float64 {
+	var out []float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			out = append(out, 2*x) // want `goroutine appends to captured slice out`
+		}(x)
+	}
+	wg.Wait()
+	return out
+}
+
+// --- negatives -----------------------------------------------------------
+
+// The sanctioned shape: each goroutine owns one index of a preallocated
+// buffer; the reduction happens in index order after the join.
+func orderedBuffer(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i int, x float64) {
+			defer wg.Done()
+			out[i] = 2 * x
+		}(i, x)
+	}
+	wg.Wait()
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// Per-worker compound accumulation into an owned slot is equally fine.
+func workerSlots(xs []float64, workers int) []float64 {
+	buf := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, x := range xs {
+				buf[w] += x
+			}
+		}(w)
+	}
+	wg.Wait()
+	return buf
+}
+
+// Locals declared inside the closure are owned, not captured.
+func closureLocal(xs []float64, done chan<- float64) {
+	go func() {
+		var acc float64
+		for _, x := range xs {
+			acc += x
+		}
+		done <- acc
+	}()
+}
+
+// Non-float captured state (a guarded error) is outside this contract.
+func firstError(jobs []func() error) error {
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job func() error) {
+			defer wg.Done()
+			if err := job(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(job)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic resolved to a concrete position, tagged with
+// the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run loads the packages matched by patterns (relative to dir) and applies
+// every analyzer to every package, returning the surviving findings sorted
+// by position. Suppressions (see lintIgnores) are applied here so every
+// consumer — the libra-lint binary and the bench gate alike — honours them
+// identically.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and filters the
+// diagnostics through the package's //lint:ignore comments.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	ignores := lintIgnores(pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if ignores.suppressed(name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	return findings, nil
+}
+
+// ignoreSet records, per file, which analyzers are suppressed on which lines
+// (and which are suppressed for the whole file).
+type ignoreSet struct {
+	// line[file][line] holds analyzer names (or "*") ignored at that line.
+	line map[string]map[int][]string
+	// file[file] holds analyzer names (or "*") ignored file-wide.
+	file map[string][]string
+}
+
+// lintIgnores scans the package's comments for the two suppression forms:
+//
+//	//lint:ignore <analyzer> <reason>       — next (or same) line only
+//	//lint:file-ignore <analyzer> <reason>  — whole file
+//
+// <analyzer> may be "*" to suppress every libra-lint check. The reason is
+// mandatory: a bare "//lint:ignore determinism" suppresses nothing, so every
+// silenced finding carries its justification in the source.
+func lintIgnores(pkg *Package) *ignoreSet {
+	set := &ignoreSet{
+		line: make(map[string]map[int][]string),
+		file: make(map[string][]string),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				fields := strings.Fields(text)
+				if len(fields) < 3 {
+					continue // no reason given: not a valid suppression
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				switch fields[0] {
+				case "lint:ignore":
+					m := set.line[pos.Filename]
+					if m == nil {
+						m = make(map[int][]string)
+						set.line[pos.Filename] = m
+					}
+					// A suppression covers its own line (trailing
+					// comment) and the next line (standalone comment
+					// above the offending statement).
+					m[pos.Line] = append(m[pos.Line], fields[1])
+					m[pos.Line+1] = append(m[pos.Line+1], fields[1])
+				case "lint:file-ignore":
+					set.file[pos.Filename] = append(set.file[pos.Filename], fields[1])
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s *ignoreSet) suppressed(analyzer string, pos token.Position) bool {
+	for _, name := range s.file[pos.Filename] {
+		if name == analyzer || name == "*" {
+			return true
+		}
+	}
+	for _, name := range s.line[pos.Filename][pos.Line] {
+		if name == analyzer || name == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// DeclaredOutside reports whether the identifier's object is declared
+// outside the syntactic range [from, to) — the shared "captured or outer
+// variable" test used by the determinism and floatreduce analyzers.
+func DeclaredOutside(pass *Pass, id *ast.Ident, from, to token.Pos) bool {
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return false
+	}
+	return obj.Pos() < from || obj.Pos() >= to
+}
+
+// RootIdent returns the identifier at the base of a selector/index chain
+// (x, x.f, x[i].g → x), or nil if the base is not a plain identifier.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -150,7 +151,7 @@ func StratifiedKFold(y []int, k int, rng *rand.Rand) [][]int {
 	for c := range byClass {
 		classes = append(classes, c)
 	}
-	sortInts(classes)
+	sort.Ints(classes)
 	for _, c := range classes {
 		idx := byClass[c]
 		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
@@ -159,14 +160,6 @@ func StratifiedKFold(y []int, k int, rng *rand.Rand) [][]int {
 		}
 	}
 	return folds
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
 
 // CVResult summarizes a cross-validation run.
