@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench check
+.PHONY: build test race vet lint bench check profile
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,11 @@ bench: lint
 # check is the pre-merge gate: static analysis (vet + libra-lint) plus the
 # race-enabled suite.
 check: vet lint race
+
+# profile captures CPU and heap profiles of the Table 1 benchmark (the
+# campaign engine's hot path) and prints the top consumers of each.
+profile:
+	$(GO) test -run '^$$' -bench 'Table1' -benchtime 1x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	$(GO) tool pprof -top -nodecount 15 cpu.prof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space mem.prof

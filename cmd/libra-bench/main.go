@@ -32,6 +32,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/obs"
 )
 
 // Snapshot is the on-disk format of a BENCH_<date>.json file.
@@ -41,11 +44,20 @@ type Snapshot struct {
 	// GoVersion and GOMAXPROCS record the measurement conditions.
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitSHA is the commit the numbers were measured at (empty outside a
+	// git checkout).
+	GitSHA string `json:"git_sha,omitempty"`
+	// Workers is the campaign worker count of the obs workload below.
+	Workers int `json:"workers,omitempty"`
 	// BenchArgs is the go test invocation that produced the numbers.
 	BenchArgs string `json:"bench_args"`
 	// Results maps benchmark name (without the -N GOMAXPROCS suffix) to
 	// its parsed result.
 	Results map[string]Result `json:"results"`
+	// Obs is an engine metrics snapshot from an in-process fixed-seed test
+	// campaign (counters and gauges by name; histograms as _count/_sum),
+	// so cache-hit ratios and pool behaviour travel with the numbers.
+	Obs map[string]float64 `json:"obs,omitempty"`
 }
 
 // Result is one parsed benchmark line.
@@ -75,7 +87,15 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative increase in a lower-is-better metric that counts as a regression")
 	strict := flag.Bool("strict", false, "exit non-zero when a regression is detected")
 	label := flag.String("label", "", "optional snapshot filename suffix (BENCH_<date>_<label>.json), for a second snapshot on the same day")
+	workers := flag.Int("workers", 0, "worker count for the embedded obs workload (0 = all cores)")
+	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
+	if err := oc.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	args := []string{"test", "-run=^$", "-bench=" + *bench, "-benchmem", "-benchtime=" + *benchTime, *pkg}
 	log.Printf("running: go %s", strings.Join(args, " "))
@@ -92,6 +112,8 @@ func main() {
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
+		Workers:    *workers,
 		BenchArgs:  strings.Join(args, " "),
 		Results:    map[string]Result{},
 	}
@@ -118,6 +140,8 @@ func main() {
 		os.Stdout.Write(out.Bytes())
 		log.Fatal("no benchmark results parsed")
 	}
+
+	snap.Obs = obsWorkload(*workers)
 
 	name := "BENCH_" + snap.Date
 	if *label != "" {
@@ -150,6 +174,38 @@ func main() {
 	} else {
 		log.Print("no regressions")
 	}
+	if err := oc.Stop(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// gitSHA returns the current commit hash, or "" outside a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// obsWorkload runs the fixed-seed test campaign in-process and returns the
+// resulting engine metrics. The benchmarks themselves run in a go test child
+// process, so this is the snapshot's window into cache-hit ratios and pool
+// occupancy under a reproducible workload.
+func obsWorkload(workers int) map[string]float64 {
+	obs.Default.Reset()
+	dataset.GenerateTestWorkers(43, workers)
+	out := map[string]float64{}
+	for _, m := range obs.Default.Snapshot() {
+		switch m.Type {
+		case "histogram":
+			out[m.Name+"_count"] = float64(m.Count)
+			out[m.Name+"_sum"] = m.Sum
+		default:
+			out[m.Name] = m.Value
+		}
+	}
+	return out
 }
 
 // parseMetrics splits the tail of a benchmark line into (value, unit) pairs.

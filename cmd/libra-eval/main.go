@@ -5,6 +5,8 @@
 // Usage:
 //
 //	libra-eval [-seed N] [-timelines N] [-skip-single] [-skip-multi] [-skip-vr]
+//	           [-metrics-out FILE] [-trace-out FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"log"
 
 	"github.com/libra-wlan/libra/internal/experiments"
+	"github.com/libra-wlan/libra/internal/obs"
 )
 
 func main() {
@@ -23,7 +26,11 @@ func main() {
 	skipSingle := flag.Bool("skip-single", false, "skip Figs 10-11")
 	skipMulti := flag.Bool("skip-multi", false, "skip Figs 12-13")
 	skipVR := flag.Bool("skip-vr", false, "skip Table 4")
+	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
+	if err := oc.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	s := experiments.NewSuite(*seed)
 	if !*skipSingle {
@@ -56,5 +63,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(t4)
+	}
+	if err := oc.Stop(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	libra-report [-seed N]
+//	libra-report [-trace FILE] [-metrics FILE]
+//
+// With -trace and/or -metrics, the command instead validates and summarizes
+// observability output produced by the other commands' -trace-out and
+// -metrics-out flags, exiting non-zero on malformed input — the CI smoke
+// check for the obs layer.
 package main
 
 import (
@@ -22,7 +28,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("libra-report: ")
 	seed := flag.Int64("seed", 42, "suite random seed")
+	tracePath := flag.String("trace", "", "validate and summarize a -trace-out file instead of running shape checks")
+	metricsPath := flag.String("metrics", "", "validate and summarize a -metrics-out file instead of running shape checks")
 	flag.Parse()
+
+	if *tracePath != "" || *metricsPath != "" {
+		if *tracePath != "" {
+			if err := summarizeTrace(os.Stdout, *tracePath); err != nil {
+				log.Fatalf("trace %s: %v", *tracePath, err)
+			}
+		}
+		if *metricsPath != "" {
+			if err := summarizeMetrics(os.Stdout, *metricsPath); err != nil {
+				log.Fatalf("metrics %s: %v", *metricsPath, err)
+			}
+		}
+		return
+	}
 
 	t0 := time.Now()
 	s := experiments.NewSuite(*seed)

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// traceEvent mirrors one line of a -trace-out file.
+type traceEvent struct {
+	Stream string            `json:"stream"`
+	ID     uint64            `json:"id"`
+	Frame  int64             `json:"frame"`
+	Slot   int64             `json:"slot"`
+	Cw     int64             `json:"cw"`
+	Kind   string            `json:"kind"`
+	Attrs  map[string]string `json:"attrs"`
+}
+
+// summarizeTrace parses a simulation-time trace, checks the determinism
+// contract (streams appear in sorted (stream, id) order), and prints
+// per-stream and per-kind event counts.
+func summarizeTrace(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var (
+		total    int
+		kinds    = map[string]int{}
+		streams  = map[string]int{}
+		lastKey  string
+		lastID   uint64
+		haveLast bool
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev traceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("line %d: %v", total+1, err)
+		}
+		if ev.Stream == "" || ev.Kind == "" {
+			return fmt.Errorf("line %d: missing stream or kind", total+1)
+		}
+		if haveLast && (ev.Stream < lastKey || (ev.Stream == lastKey && ev.ID < lastID)) {
+			return fmt.Errorf("line %d: stream %q id %d out of order (trace must be sorted by stream, id)",
+				total+1, ev.Stream, ev.ID)
+		}
+		lastKey, lastID, haveLast = ev.Stream, ev.ID, true
+		total++
+		kinds[ev.Kind]++
+		streams[ev.Stream]++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace %s: %d events, %d streams\n", path, total, len(streams))
+	for _, k := range sortedKeys(kinds) {
+		fmt.Fprintf(w, "  %-16s %d\n", k, kinds[k])
+	}
+	return nil
+}
+
+// summarizeMetrics parses a metrics snapshot — JSON lines for .json/.jsonl,
+// Prometheus text otherwise — and prints the series count per type.
+func summarizeMetrics(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	types := map[string]int{}
+	jsonLines := strings.HasSuffix(path, ".json") || strings.HasSuffix(path, ".jsonl")
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		n++
+		if jsonLines {
+			var m struct {
+				Name string `json:"name"`
+				Type string `json:"type"`
+			}
+			if err := json.Unmarshal([]byte(line), &m); err != nil {
+				return fmt.Errorf("line %d: %v", n, err)
+			}
+			if m.Name == "" || m.Type == "" {
+				return fmt.Errorf("line %d: missing name or type", n)
+			}
+			types[m.Type]++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE header", n)
+			}
+			types[parts[3]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A sample line is `name value` with an optional label set.
+		if len(strings.Fields(strings.TrimSpace(line))) < 2 {
+			return fmt.Errorf("line %d: malformed sample %q", n, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(types) == 0 {
+		return fmt.Errorf("no metrics found")
+	}
+	fmt.Fprintf(w, "metrics %s:", path)
+	for _, t := range sortedKeys(types) {
+		fmt.Fprintf(w, " %d %s(s)", types[t], t)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -7,7 +7,14 @@
 // Usage:
 //
 //	libra-sim [-env lobby] [-dist 8] [-impair rotate] [-amount 60]
-//	          [-ba 5ms] [-fat 2ms] [-flow 1s] [-seed N]
+//	          [-ba 5ms] [-fat 2ms] [-flow 1s] [-seed N] [-workers N]
+//	          [-metrics-out FILE] [-trace-out FILE]
+//	          [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
+//
+// The observability flags are shared by every libra command: -metrics-out
+// snapshots the engine metrics on exit, -trace-out records the deterministic
+// simulation-time event trace (byte-identical for any -workers value), and
+// the profile flags feed go tool pprof.
 //
 // Impairments: backward (amount = extra meters), rotate (amount = degrees),
 // block (amount = lateral offset in meters), interfere (amount = EIRP dBm),
@@ -25,6 +32,7 @@ import (
 	"github.com/libra-wlan/libra/internal/dataset"
 	"github.com/libra-wlan/libra/internal/env"
 	"github.com/libra-wlan/libra/internal/geom"
+	"github.com/libra-wlan/libra/internal/obs"
 	"github.com/libra-wlan/libra/internal/phased"
 	"github.com/libra-wlan/libra/internal/phy"
 	"github.com/libra-wlan/libra/internal/sim"
@@ -54,7 +62,12 @@ func main() {
 	fat := flag.Duration("fat", 2*time.Millisecond, "frame aggregation time per RA probe")
 	flow := flag.Duration("flow", time.Second, "data flow duration")
 	seed := flag.Int64("seed", 42, "random seed (codebooks + classifier training)")
+	workers := flag.Int("workers", 0, "campaign worker count (0 = all cores; output is identical for any value)")
+	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
+	if err := oc.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	spec, ok := environments[*envName]
 	if !ok {
@@ -123,7 +136,7 @@ func main() {
 		entry.Features[4], entry.Features[5], initMCS)
 
 	fmt.Println("training LiBRA's classifier...")
-	clf, err := core.TrainDefaultClassifier(dataset.GenerateMain(*seed), *seed)
+	clf, err := core.TrainDefaultClassifier(dataset.GenerateMainWorkers(*seed, *workers), *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,7 +144,10 @@ func main() {
 
 	p := sim.Params{BAOverhead: *baOverhead, FAT: *fat, FlowDur: *flow}
 	fmt.Printf("%-13s %-12s %-14s %-10s %s\n", "policy", "bytes (MB)", "recovery", "final MCS", "mechanisms")
-	for _, pol := range []sim.Policy{sim.BAFirst, sim.RAFirst, sim.LiBRA, sim.OracleData, sim.OracleDelay} {
+	for pi, pol := range []sim.Policy{sim.BAFirst, sim.RAFirst, sim.LiBRA, sim.OracleData, sim.OracleDelay} {
+		// One trace stream per policy, keyed by the display-order index so
+		// -trace-out bytes never depend on scheduling.
+		p.Trace = oc.Tracer().Stream("sim/"+pol.String(), uint64(pi))
 		out := sim.RunEntry(entry, p, pol, clf)
 		mech := ""
 		if out.UsedBA {
@@ -142,5 +158,8 @@ func main() {
 		}
 		fmt.Printf("%-13s %-12.1f %-14v %-10v %s\n",
 			pol, out.Bytes/1e6, out.RecoveryDelay.Round(10*time.Microsecond), out.FinalMCS, mech)
+	}
+	if err := oc.Stop(); err != nil {
+		log.Fatal(err)
 	}
 }

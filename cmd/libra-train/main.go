@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	libra-train [-seed N] [-reps N]
+//	libra-train [-seed N] [-reps N] [-metrics-out FILE] [-trace-out FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"github.com/libra-wlan/libra/internal/core"
 	"github.com/libra-wlan/libra/internal/experiments"
+	"github.com/libra-wlan/libra/internal/obs"
 )
 
 func main() {
@@ -24,7 +26,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "suite random seed")
 	reps := flag.Int("reps", 10, "cross-validation repetitions (paper: 500)")
 	save := flag.String("save", "", "write the trained 3-class model to this file")
+	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
+	if err := oc.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	s := experiments.NewSuite(*seed)
 	cv, err := experiments.CrossValidation(s, *reps)
@@ -67,5 +73,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trained 3-class model written to %s\n", *save)
+	}
+	if err := oc.Stop(); err != nil {
+		log.Fatal(err)
 	}
 }

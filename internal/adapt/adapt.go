@@ -64,6 +64,7 @@ func (ExhaustiveSLS) Name() string { return "exhaustive-sls" }
 func (ExhaustiveSLS) Adapt(l *channel.Link) BAResult {
 	tx, rx, snr := l.BestPair()
 	n := phased.NumBeams * phased.NumBeams
+	countBA("exhaustive-sls", n)
 	return BAResult{
 		TxBeam:   tx,
 		RxBeam:   rx,
@@ -90,6 +91,7 @@ func (StandardSLS) Adapt(l *channel.Link) BAResult {
 		}
 	}
 	n := 2 * phased.NumBeams
+	countBA("standard-sls", n)
 	return BAResult{
 		TxBeam:   bestTx,
 		RxBeam:   bestRx,
@@ -109,6 +111,7 @@ func (TxOnlySLS) Name() string { return "txonly-sls" }
 // Adapt implements BeamAdapter.
 func (TxOnlySLS) Adapt(l *channel.Link) BAResult {
 	bestTx, snr := l.BestTxQuasiOmni()
+	countBA("txonly-sls", phased.NumBeams)
 	return BAResult{
 		TxBeam:   bestTx,
 		RxBeam:   phased.QuasiOmniID,
@@ -187,12 +190,14 @@ func (ProbeDownRA) Adapt(s *mac.Station, start phy.MCS) RAResult {
 		res.Working = false
 		res.MCS = phy.MinMCS
 		s.MCS = phy.MinMCS
+		countRA("probe-down", res.FramesProbed)
 		return res
 	}
 	res.Working = true
 	res.MCS = bestMCS
 	res.ThroughputBps = bestTh
 	s.MCS = bestMCS
+	countRA("probe-down", res.FramesProbed)
 	return res
 }
 
@@ -220,6 +225,7 @@ func (r SNRMapRA) Adapt(s *mac.Station, start phy.MCS) RAResult {
 		res.Working = false
 		res.MCS = phy.MinMCS
 		s.MCS = phy.MinMCS
+		countRA("snr-map", res.FramesProbed)
 		return res
 	}
 	chosen := phy.MinMCS
@@ -235,5 +241,6 @@ func (r SNRMapRA) Adapt(s *mac.Station, start phy.MCS) RAResult {
 	res.ThroughputBps = rec.ThroughputBps()
 	res.Working = phy.IsWorking(rec.CDR, res.ThroughputBps)
 	s.MCS = chosen
+	countRA("snr-map", res.FramesProbed)
 	return res
 }

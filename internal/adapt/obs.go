@@ -1,0 +1,38 @@
+package adapt
+
+import "github.com/libra-wlan/libra/internal/obs"
+
+// Per-algorithm adaptation counters, labeled by the algorithm name so the
+// exported series show which mechanism (BA flavor or RA search) actually ran
+// and how much training airtime it consumed in probes.
+var (
+	obsBARuns = map[string]*obs.Counter{
+		"exhaustive-sls": obs.NewCounter(`libra_adapt_ba_runs_total{algo="exhaustive-sls"}`, "beam-adaptation runs per algorithm"),
+		"standard-sls":   obs.NewCounter(`libra_adapt_ba_runs_total{algo="standard-sls"}`, "beam-adaptation runs per algorithm"),
+		"txonly-sls":     obs.NewCounter(`libra_adapt_ba_runs_total{algo="txonly-sls"}`, "beam-adaptation runs per algorithm"),
+	}
+	obsBAProbes = obs.NewCounter("libra_adapt_ba_probes_total",
+		"sector-sweep probe frames across all BA runs")
+	obsRARuns = map[string]*obs.Counter{
+		"probe-down": obs.NewCounter(`libra_adapt_ra_runs_total{algo="probe-down"}`, "rate-adaptation runs per algorithm"),
+		"snr-map":    obs.NewCounter(`libra_adapt_ra_runs_total{algo="snr-map"}`, "rate-adaptation runs per algorithm"),
+	}
+	obsRAProbes = obs.NewCounter("libra_adapt_ra_probes_total",
+		"aggregated probe frames across all RA searches")
+)
+
+// countBA records one BA run and its probe volume.
+func countBA(name string, probes int) {
+	if c, ok := obsBARuns[name]; ok {
+		c.Inc()
+	}
+	obsBAProbes.Add(uint64(probes))
+}
+
+// countRA records one RA search and its probe volume.
+func countRA(name string, frames int) {
+	if c, ok := obsRARuns[name]; ok {
+		c.Inc()
+	}
+	obsRAProbes.Add(uint64(frames))
+}

@@ -1,15 +1,17 @@
 // Package determinism forbids wall-clock and process-global randomness in
 // the reproduction pipeline. The campaign and ML engines promise
 // byte-identical output for any worker count; that contract dies the moment
-// a package reads time.Now, draws from the global math/rand source, or folds
-// map-iteration order into a float accumulation or a slice. Seeded
-// *rand.Rand values must be plumbed in explicitly.
+// a package reads time.Now or time.Since, draws from the global math/rand
+// source, or folds map-iteration order into a float accumulation or a slice.
+// Seeded *rand.Rand values must be plumbed in explicitly; wall-clock
+// measurements belong in internal/obs's metrics files, the single carve-out.
 package determinism
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 
 	"github.com/libra-wlan/libra/internal/analysis"
@@ -17,10 +19,12 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
-	Doc: "forbids time.Now, global math/rand draws, wall-clock rand seeds, and " +
-		"iteration-order-dependent accumulation over map ranges in the library " +
-		"packages (internal/..., examples/..., and the root package); cmd/ " +
-		"binaries are exempt",
+	Doc: "forbids time.Now/time.Since, global math/rand draws, wall-clock rand " +
+		"seeds, and iteration-order-dependent accumulation over map ranges in " +
+		"the library packages (internal/..., examples/..., and the root " +
+		"package); cmd/ binaries are exempt, as are internal/obs's metrics " +
+		"files — the one sanctioned home for wall-clock reads — but not its " +
+		"sim-time tracer (trace*.go), whose output must stay reproducible",
 	Run: run,
 }
 
@@ -72,6 +76,21 @@ func exemptPackage(pkg *types.Package) bool {
 	return strings.Contains(pkg.Path()+"/", "/cmd/")
 }
 
+// obsMetricsFile reports whether pos falls inside internal/obs's metrics
+// paths, the one library location where wall-clock reads are the point:
+// engine-side diagnostics (timer histograms, profile stamps) measure real
+// elapsed time by design. The exemption is per-file, not per-package — the
+// obs package's sim-time tracer lives in trace*.go and stays banned, because
+// trace output promises byte-identical bytes for any worker count.
+func obsMetricsFile(pass *analysis.Pass, pos token.Pos) bool {
+	path := pass.Pkg.Path()
+	if path != "obs" && !strings.HasSuffix(path, "/obs") {
+		return false
+	}
+	file := filepath.Base(pass.Fset.Position(pos).Filename)
+	return !strings.HasPrefix(file, "trace")
+}
+
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	callee := calleeFunc(pass, call)
 	if callee == nil || callee.Pkg() == nil {
@@ -79,9 +98,9 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	switch callee.Pkg().Path() {
 	case "time":
-		if callee.Name() == "Now" {
+		if (callee.Name() == "Now" || callee.Name() == "Since") && !obsMetricsFile(pass, call.Pos()) {
 			pass.Reportf(call.Pos(),
-				"time.Now makes output wall-clock-dependent; plumb an explicit timestamp or derive times from the simulation clock")
+				"time.%s makes output wall-clock-dependent; plumb an explicit timestamp, derive times from the simulation clock, or route the measurement through an obs metric", callee.Name())
 		}
 	case "math/rand", "math/rand/v2":
 		if globalRandFuncs[callee.Name()] {

@@ -1,0 +1,16 @@
+// Package obs mirrors internal/obs's file layout so the determinism tests
+// can pin the analyzer's carve-out: wall-clock reads in the package's
+// metrics files are sanctioned, while the same reads in trace*.go stay
+// flagged (see trace.go in this fixture).
+package obs
+
+import "time"
+
+// Stopwatch mirrors the sanctioned metrics timer. Wall-clock reads here are
+// the point — engine-side diagnostics measure real elapsed time — so neither
+// call below carries a want annotation.
+type Stopwatch struct{ t0 time.Time }
+
+func StartTimer() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+func (s Stopwatch) Elapsed() float64 { return time.Since(s.t0).Seconds() }

@@ -1,0 +1,12 @@
+package obs
+
+import "time"
+
+// badStamp is the tracer side of the obs contract: trace*.go promises
+// byte-identical output for any worker count, so wall-clock reads are
+// flagged even though the surrounding package is obs.
+func badStamp() int64 {
+	t := time.Now()   // want `time\.Now makes output wall-clock-dependent`
+	_ = time.Since(t) // want `time\.Since makes output wall-clock-dependent`
+	return t.UnixNano()
+}

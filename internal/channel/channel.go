@@ -304,6 +304,7 @@ const (
 
 // trace runs the image-method ray tracer between the link endpoints.
 func (l *Link) trace() []Path {
+	obsTraces.Inc()
 	return l.traceBetween(l.Tx.Pos, l.Rx.Pos, l.MaxBounces)
 }
 

@@ -80,6 +80,7 @@ func (l *Link) ensureGains() *gainTables {
 		}
 		return &l.gains
 	}
+	obsGainRebuilds.Inc()
 	paths := l.Paths()
 	np := len(paths)
 	nb := phased.NumBeams + 1 // +1 for quasi-omni
@@ -129,6 +130,7 @@ func (l *Link) ensureGains() *gainTables {
 // of a re-trace plus a full two-sided rebuild. Fresh rows are allocated so
 // previously handed-out tables (e.g. inside a Snapshot) stay valid.
 func (l *Link) rebuildRxGains() {
+	obsGainRxRebuilds.Inc()
 	g := &l.gains
 	np := len(g.paths)
 	nb := phased.NumBeams + 1
@@ -168,6 +170,7 @@ func (g *gainTables) row(tab [][]float64, beamID int) []float64 {
 // re-accumulate interference.
 func (l *Link) noiseMwFor(rxBeam int) float64 {
 	if !l.noiseOK || l.noiseEpoch != l.pathEpoch || l.noiseNF != l.NoiseFigureDB {
+		obsNoiseRefills.Inc()
 		if l.noiseMw == nil {
 			l.noiseMw = make([]float64, phased.NumBeams+1)
 		}

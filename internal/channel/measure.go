@@ -82,6 +82,7 @@ func (m *Measurement) CSIInto(dst []float64) []float64 {
 // cost O(paths) multiply-adds instead of O(paths) gain evaluations and
 // dB-to-linear conversions.
 func (l *Link) Measure(txBeam, rxBeam int) Measurement {
+	obsMeasures.Inc()
 	g := l.ensureGains()
 	txRow := g.row(g.txLin, txBeam)
 	rxRow := g.row(g.rxLin, rxBeam)
@@ -181,6 +182,7 @@ func (l *Link) ensureInterferencePaths() {
 	if l.intfPathsOK && l.intfGeomEpoch == l.geomEpoch && l.samePositions() {
 		return
 	}
+	obsIntfTraces.Inc()
 	l.intfPaths = make([][]Path, len(l.Interferers))
 	l.intfRxGain = nil
 	for i, it := range l.Interferers {
@@ -249,6 +251,7 @@ func (l *Link) SNRdB(txBeam, rxBeam int) float64 {
 // per state plus O(N^2*paths) multiply-adds; the Tx-beam outer loop fans out
 // across the available cores.
 func (l *Link) Sweep() [][]float64 {
+	obsSweeps.Inc()
 	g := l.ensureGains()
 	n := phased.NumBeams
 
@@ -296,8 +299,10 @@ func (l *Link) Sweep() [][]float64 {
 func (l *Link) BestPair() (txBeam, rxBeam int, snrDB float64) {
 	if l.bestOK && l.bestEpoch == l.pathEpoch && l.bestNF == l.NoiseFigureDB &&
 		l.bestTxP == l.TxPowerDBm && l.bestIL == l.ImplLossDB {
+		obsBestPairHits.Inc()
 		return l.bestT, l.bestR, l.bestSNR
 	}
+	obsBestPairMisses.Inc()
 	g := l.ensureGains()
 	n := phased.NumBeams
 	txw := make([]float64, len(g.linBase))

@@ -1,0 +1,30 @@
+package channel
+
+import "github.com/libra-wlan/libra/internal/obs"
+
+// Engine-side metrics for the channel hot path. Counters sit at call or
+// rebuild granularity — never inside per-path inner loops — so the
+// instrumentation overhead stays within the bench budget. The interesting
+// ratios: gain-table rebuilds vs. measurements served from the tables,
+// BestPair cache hits vs. recomputations, and how often the noise vector
+// and interferer traces actually refill.
+var (
+	obsTraces = obs.NewCounter("libra_channel_ray_traces_total",
+		"image-method ray traces between the link endpoints")
+	obsGainRebuilds = obs.NewCounter("libra_channel_gain_rebuilds_total",
+		"full per-geometry beam-gain/link-budget table rebuilds")
+	obsGainRxRebuilds = obs.NewCounter("libra_channel_gain_rx_rebuilds_total",
+		"Rx-rows-only gain rebuilds after pure Rx rotations")
+	obsMeasures = obs.NewCounter("libra_channel_measures_total",
+		"Measure calls (PHY observations served from the gain tables)")
+	obsSweeps = obs.NewCounter("libra_channel_sweeps_total",
+		"full NxN sector-level sweeps")
+	obsBestPairHits = obs.NewCounter("libra_channel_bestpair_cache_hits_total",
+		"BestPair calls answered from the per-state cache")
+	obsBestPairMisses = obs.NewCounter("libra_channel_bestpair_cache_misses_total",
+		"BestPair calls that recomputed the ground-truth SLS")
+	obsNoiseRefills = obs.NewCounter("libra_channel_noise_vector_refills_total",
+		"per-Rx-beam noise vector refills (epoch or noise-figure change)")
+	obsIntfTraces = obs.NewCounter("libra_channel_interferer_traces_total",
+		"interferer-to-Rx path re-traces (position or geometry change)")
+)

@@ -7,6 +7,7 @@ import (
 	"github.com/libra-wlan/libra/internal/channel"
 	"github.com/libra-wlan/libra/internal/env"
 	"github.com/libra-wlan/libra/internal/geom"
+	"github.com/libra-wlan/libra/internal/obs"
 	"github.com/libra-wlan/libra/internal/phased"
 	"github.com/libra-wlan/libra/internal/phy"
 )
@@ -83,6 +84,10 @@ type generator struct {
 	building string
 	camp     *Campaign
 	posSeq   map[string]int
+	// trace is the spec's simulation-time stream (nil-safe when tracing is
+	// off); frame is the per-generator observation index used as its stamp.
+	trace *obs.Stream
+	frame int64
 }
 
 func newGenerator(seed int64, building, name string) *generator {
@@ -148,6 +153,17 @@ func (g *generator) collect(l *channel.Link, init *initState, envName string, im
 		init.mcs, g.rng)
 	groundTruth(e)
 	g.camp.Entries = append(g.camp.Entries, e)
+	obsCampEntries.Add(2) // the entry plus its NA twin below
+	if g.trace.Enabled() {
+		t := obs.SimTime{Frame: g.frame}
+		g.trace.Event(t, "label",
+			obs.F("label", e.Label.String()),
+			obs.Fint("imp", int64(im)), obs.Fint("pos", int64(posID)))
+		if e.Label == ActBA {
+			g.trace.Event(t, "rebeam", obs.Ffloat("snr_best_db", bestSNR))
+		}
+	}
+	g.frame++
 
 	// NA augmentation (§7): the best beam pair and MCS at the new state,
 	// observed over two consecutive windows with only environmental drift.

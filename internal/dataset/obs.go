@@ -1,0 +1,16 @@
+package dataset
+
+import "github.com/libra-wlan/libra/internal/obs"
+
+// Campaign-engine metrics (wall-clock side: pool occupancy and volume) plus
+// the per-spec trace streams wired in generate(). Trace events carry only the
+// per-generator observation index as their frame stamp, so the merged trace
+// is byte-identical for every worker count.
+var (
+	obsCampWorkers = obs.NewGauge("libra_dataset_campaign_workers_active",
+		"campaign worker-pool occupancy (max tracks peak)")
+	obsCampSpecs = obs.NewCounter("libra_dataset_campaign_specs_total",
+		"displacement specs executed")
+	obsCampEntries = obs.NewCounter("libra_dataset_campaign_entries_total",
+		"labeled entries generated (including NA augmentation twins)")
+)

@@ -3,6 +3,8 @@ package dataset
 import (
 	"runtime"
 	"sync"
+
+	"github.com/libra-wlan/libra/internal/obs"
 )
 
 // The measurement campaigns of §4-§5 are embarrassingly parallel at the
@@ -62,12 +64,20 @@ func generate(seed int64, building, name string, specs []*displacementSpec, txSe
 		nextPos[envNames[i]] += specPositions(sp)
 	}
 
+	// Each spec gets its own trace stream keyed by (campaign, spec index):
+	// streams are single-writer and merged in key order at export, so the
+	// trace bytes do not depend on which worker ran which spec.
+	tr := obs.ActiveTracer()
 	subs := make([]*generator, len(specs))
 	runOne := func(i int) {
+		obsCampWorkers.Inc()
 		g := newGenerator(rngSeeds[i], building, name)
+		g.trace = tr.Stream("campaign/"+name, uint64(i))
 		g.posSeq[envNames[i]] = posBase[i]
 		g.run(specs[i], txSeed(i))
 		subs[i] = g
+		obsCampSpecs.Inc()
+		obsCampWorkers.Dec()
 	}
 	if workers <= 1 {
 		for i := range specs {

@@ -1,8 +1,11 @@
 package dataset
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
+
+	"github.com/libra-wlan/libra/internal/obs"
 )
 
 // equalCampaigns reports field-level equality of two campaigns.
@@ -52,6 +55,39 @@ func TestParallelStableAcrossRuns(t *testing.T) {
 		t.Fatalf("test campaign entries = %d, want 456", got)
 	}
 	equalCampaigns(t, firstTest, GenerateTestWorkers(43, 4))
+}
+
+// traceBytes runs the test campaign under a fresh tracer and returns the
+// exported trace.
+func traceBytes(t *testing.T, workers int) []byte {
+	t.Helper()
+	tr := obs.NewTracer()
+	obs.SetTracer(tr)
+	defer obs.SetTracer(nil)
+	GenerateTestWorkers(43, workers)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceWorkerInvariance extends the determinism guarantee to the obs
+// layer: the simulation-time trace of a fixed-seed campaign must be
+// byte-identical for any worker count, because events are stamped with
+// per-generator observation indices rather than anything scheduling-order
+// dependent.
+func TestTraceWorkerInvariance(t *testing.T) {
+	want := traceBytes(t, 1)
+	if len(want) == 0 {
+		t.Fatal("single-worker campaign produced an empty trace")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := traceBytes(t, workers); !bytes.Equal(got, want) {
+			t.Fatalf("trace bytes differ between 1 and %d workers (%d vs %d bytes)",
+				workers, len(want), len(got))
+		}
+	}
 }
 
 // TestSpecPositionsMatchesRun pins the position accounting the deterministic

@@ -37,6 +37,7 @@ func twiddleTable(n int) []complex128 {
 	if v, ok := twiddles.Load(n); ok {
 		return v.([]complex128)
 	}
+	obsTwiddleBuilds.Inc()
 	tw := make([]complex128, n/2)
 	for k := range tw {
 		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
@@ -115,9 +116,11 @@ var cbufPool = sync.Pool{New: func() any { return new([]complex128) }}
 // alias x: x is consumed before dst is written.
 func FFTRealInto(dst, x []float64) []float64 {
 	n := NextPow2(len(x))
+	obsFFTs.Inc()
 	bp := cbufPool.Get().(*[]complex128)
 	buf := *bp
 	if cap(buf) < n {
+		obsFFTGrows.Inc()
 		buf = make([]complex128, n)
 	}
 	buf = buf[:n]

@@ -1,0 +1,16 @@
+package dsp
+
+import "github.com/libra-wlan/libra/internal/obs"
+
+// Pool-effectiveness metrics for the FFT hot path. A transform is cheap but
+// featurization runs two per dataset entry, so the interesting signal is how
+// often the pooled scratch (and the twiddle cache) actually avoids an
+// allocation: grows should flatline after warm-up.
+var (
+	obsFFTs = obs.NewCounter("libra_dsp_fft_real_total",
+		"real-input magnitude-spectrum transforms")
+	obsFFTGrows = obs.NewCounter("libra_dsp_fft_scratch_grows_total",
+		"pooled FFT scratch buffers grown (pool miss at this length)")
+	obsTwiddleBuilds = obs.NewCounter("libra_dsp_fft_twiddle_builds_total",
+		"twiddle-factor tables computed (cache miss per length)")
+)

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/obs"
 	"github.com/libra-wlan/libra/internal/phy"
 )
 
@@ -71,6 +72,11 @@ type Station struct {
 	// large range even without interference (§6.2).
 	NoiseJitterDB float64
 
+	// Trace, when non-nil, receives simulation-time events for notable
+	// frames (missing Block ACK, codeword error bursts), stamped with the
+	// frame sequence number — never wall time.
+	Trace *obs.Stream
+
 	seq int
 }
 
@@ -104,6 +110,24 @@ func (s *Station) SendFrame() FrameRecord {
 		CDR:           cdr,
 		DeliveredBits: phy.Throughput(s.MCS, cdr) * phy.FrameDuration,
 		ACKed:         cdr >= ackMinCDR,
+	}
+	obsFrames.Inc()
+	if !rec.ACKed {
+		obsNoACK.Inc()
+	}
+	if cdr < cwBurstMaxCDR {
+		obsCwBursts.Inc()
+	}
+	if s.Trace.Enabled() {
+		t := obs.SimTime{Frame: int64(rec.Seq)}
+		if !rec.ACKed {
+			s.Trace.Event(t, "no_ack",
+				obs.Fint("mcs", int64(rec.MCS)), obs.Ffloat("cdr", cdr))
+		} else if cdr < cwBurstMaxCDR {
+			s.Trace.Event(t, "cw_burst",
+				obs.Fint("mcs", int64(rec.MCS)), obs.Ffloat("cdr", cdr),
+				obs.Ffloat("snr_db", snr))
+		}
 	}
 	s.seq++
 	return rec

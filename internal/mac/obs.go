@@ -1,0 +1,18 @@
+package mac
+
+import "github.com/libra-wlan/libra/internal/obs"
+
+// Frame-level metrics. cwBurstMaxCDR is the codeword delivery ratio below
+// which a frame counts as a codeword error burst — a heavy partial loss that
+// is still ACKed (an AMPDU degrades codeword by codeword before the Block ACK
+// itself disappears below ackMinCDR).
+const cwBurstMaxCDR = 0.5
+
+var (
+	obsFrames = obs.NewCounter("libra_mac_frames_total",
+		"TDMA frames transmitted")
+	obsNoACK = obs.NewCounter("libra_mac_frames_no_ack_total",
+		"frames whose Block ACK did not come back")
+	obsCwBursts = obs.NewCounter("libra_mac_frames_cw_burst_total",
+		"frames with a codeword error burst (CDR below 0.5)")
+)

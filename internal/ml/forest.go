@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"github.com/libra-wlan/libra/internal/obs"
 )
 
 // RandomForest is a bagged ensemble of decision trees with per-split feature
@@ -95,7 +97,13 @@ func (f *RandomForest) Fit(d *Dataset) error {
 					MaxFeatures: maxFeat,
 					Rng:         rand.New(rand.NewSource(seeds[t])),
 				}
-				if err := tree.Fit(d.Subset(boots[t])); err != nil {
+				obsFitWorkers.Inc()
+				sw := obs.StartTimer()
+				err := tree.Fit(d.Subset(boots[t]))
+				sw.Observe(obsTreeFitSeconds)
+				obsTreeFits.Inc()
+				obsFitWorkers.Dec()
+				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err

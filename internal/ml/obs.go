@@ -1,0 +1,16 @@
+package ml
+
+import "github.com/libra-wlan/libra/internal/obs"
+
+// Training-side metrics: per-tree fit wall time and worker-pool occupancy of
+// RandomForest.Fit. Wall-clock readings go through obs.Stopwatch — engine
+// code never touches the clock directly (the determinism lint enforces this),
+// and the timings only feed diagnostics, never model output.
+var (
+	obsTreeFits = obs.NewCounter("libra_ml_tree_fits_total",
+		"decision trees fitted across all forest fits")
+	obsTreeFitSeconds = obs.NewHistogram("libra_ml_tree_fit_seconds",
+		"per-tree fit wall time", obs.DurationBuckets)
+	obsFitWorkers = obs.NewGauge("libra_ml_fit_workers_active",
+		"tree-fit worker-pool occupancy (max tracks peak)")
+)

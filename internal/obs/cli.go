@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (opt-in listener)
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// CLI bundles the observability flags every libra command exposes:
+//
+//	-metrics-out FILE   write a metrics snapshot on exit (.prom text or .json lines)
+//	-trace-out FILE     record the simulation-time trace and write it on exit
+//	-cpuprofile FILE    write a CPU profile
+//	-memprofile FILE    write a heap profile on exit
+//	-pprof ADDR         serve net/http/pprof on ADDR (e.g. localhost:6060)
+//
+// Usage: c := obs.RegisterCLI(flag.CommandLine); flag.Parse();
+// c.Start(); defer/explicit c.Stop().
+type CLI struct {
+	MetricsOut string
+	TraceOut   string
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+
+	cpuFile *os.File
+	tracer  *Tracer
+}
+
+// RegisterCLI registers the observability flags on fs and returns the
+// bundle that will act on them after parsing.
+func RegisterCLI(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a metrics snapshot to this file on exit (Prometheus text, or JSON lines with .json/.jsonl)")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "record the simulation-time trace and write it to this file on exit (JSON lines)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Tracer returns the tracer installed by Start, or nil when -trace-out was
+// not given.
+func (c *CLI) Tracer() *Tracer { return c.tracer }
+
+// Start begins CPU profiling, starts the optional pprof listener, and
+// installs the process-wide tracer when -trace-out was given.
+func (c *CLI) Start() error {
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		c.cpuFile = f
+	}
+	if c.PprofAddr != "" {
+		go func() {
+			// The listener is best-effort diagnostics; a bind failure must
+			// not kill the run.
+			if err := http.ListenAndServe(c.PprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof listener: %v\n", err)
+			}
+		}()
+	}
+	if c.TraceOut != "" {
+		c.tracer = NewTracer()
+		SetTracer(c.tracer)
+	}
+	return nil
+}
+
+// Stop finishes profiles and writes the metrics and trace outputs. It is
+// idempotent; commands call it once on their success path (a log.Fatal exit
+// simply loses the outputs, like any crash would).
+func (c *CLI) Stop() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(c.cpuFile.Close())
+		c.cpuFile = nil
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			keep(fmt.Errorf("obs: -memprofile: %w", err))
+		} else {
+			runtime.GC()
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		c.MemProfile = ""
+	}
+	if c.MetricsOut != "" {
+		keep(writeFileWith(c.MetricsOut, func(f io.Writer) error {
+			if strings.HasSuffix(c.MetricsOut, ".json") || strings.HasSuffix(c.MetricsOut, ".jsonl") {
+				return Default.WriteJSON(f)
+			}
+			return Default.WritePrometheus(f)
+		}))
+		c.MetricsOut = ""
+	}
+	if c.TraceOut != "" && c.tracer != nil {
+		keep(writeFileWith(c.TraceOut, c.tracer.WriteJSON))
+		SetTracer(nil)
+		c.TraceOut = ""
+	}
+	return firstErr
+}
+
+// writeFileWith creates path ("-" means stdout), runs write, and closes it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,8 @@
+package phy
+
+import "github.com/libra-wlan/libra/internal/obs"
+
+// obsCDRSamples counts codeword-delivery-ratio draws — one per simulated
+// frame, the basic unit of PHY work across every campaign and policy run.
+var obsCDRSamples = obs.NewCounter("libra_phy_cdr_samples_total",
+	"per-frame codeword delivery ratio draws")

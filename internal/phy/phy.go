@@ -120,6 +120,7 @@ func CDR(m MCS, snrDB float64) float64 {
 // codewords out of CodewordsPerFrame, binomially distributed around the
 // expected CDR. It uses a normal approximation, exact enough at n=9200.
 func SampleCDR(m MCS, snrDB float64, rng *rand.Rand) float64 {
+	obsCDRSamples.Inc()
 	p := CDR(m, snrDB)
 	// Below ~1e-5 the expected number of delivered codewords in a frame is
 	// well under one: the observation is zero (and symmetrically at the

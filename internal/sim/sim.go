@@ -11,6 +11,7 @@ import (
 
 	"github.com/libra-wlan/libra/internal/core"
 	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/obs"
 	"github.com/libra-wlan/libra/internal/phy"
 )
 
@@ -25,6 +26,11 @@ type Params struct {
 	FAT time.Duration
 	// FlowDur is the data flow duration (0.4 s and 1 s in §8.2).
 	FlowDur time.Duration
+	// Trace, when non-nil, receives the simulation-time adaptation events
+	// of this run (break, classifier verdict, re-beam, RA search, MCS
+	// moves), stamped with elapsed simulated time only — never wall time —
+	// so the trace bytes are identical for any worker count.
+	Trace *obs.Stream
 }
 
 // Grid enumerates the BA overhead and FAT combinations of Figs 10-13.
@@ -176,12 +182,28 @@ func runPlan(e *dataset.Entry, p Params, baFirst bool) Outcome {
 			recovered = true
 		}
 	}
+	tr := p.Trace
+	traceRA := func(ra *raOutcome) {
+		if tr.Enabled() {
+			found := "false"
+			if ra.found {
+				found = "true"
+			}
+			tr.Event(simTime(elapsed), "ra_search",
+				obs.F("found", found), obs.Fint("probes", int64(ra.probes)))
+		}
+	}
 
 	if baFirst {
 		out.UsedBA = true
+		if tr.Enabled() {
+			tr.Event(simTime(elapsed), "rebeam",
+				obs.Ffloat("overhead_s", p.BAOverhead.Seconds()))
+		}
 		addBytes(0, p.BAOverhead) // control frames only: zero throughput
 		ra := raSearch(&e.BestBeamTh, e.InitMCS, p.FAT)
 		out.UsedRA = true
+		traceRA(&ra)
 		if ra.found {
 			preRecovery := time.Duration(ra.firstWorking) * p.FAT
 			addBytes(partialSearchBytes(&e.BestBeamTh, e.InitMCS, ra.firstWorking, p.FAT), preRecovery)
@@ -198,6 +220,7 @@ func runPlan(e *dataset.Entry, p Params, baFirst bool) Outcome {
 	} else {
 		out.UsedRA = true
 		ra := raSearch(&e.InitBeamTh, e.InitMCS, p.FAT)
+		traceRA(&ra)
 		if ra.found {
 			preRecovery := time.Duration(ra.firstWorking) * p.FAT
 			addBytes(partialSearchBytes(&e.InitBeamTh, e.InitMCS, ra.firstWorking, p.FAT), preRecovery)
@@ -210,8 +233,13 @@ func runPlan(e *dataset.Entry, p Params, baFirst bool) Outcome {
 			// RA alone failed: BA, then another RA round (§5.2).
 			addBytes(ra.searchBytes, time.Duration(ra.probes)*p.FAT)
 			out.UsedBA = true
+			if tr.Enabled() {
+				tr.Event(simTime(elapsed), "rebeam",
+					obs.Ffloat("overhead_s", p.BAOverhead.Seconds()))
+			}
 			addBytes(0, p.BAOverhead)
 			ra2 := raSearch(&e.BestBeamTh, e.InitMCS, p.FAT)
+			traceRA(&ra2)
 			if ra2.found {
 				preRecovery := time.Duration(ra2.firstWorking) * p.FAT
 				addBytes(partialSearchBytes(&e.BestBeamTh, e.InitMCS, ra2.firstWorking, p.FAT), preRecovery)
@@ -229,6 +257,24 @@ func runPlan(e *dataset.Entry, p Params, baFirst bool) Outcome {
 	}
 	if !recovered {
 		out.RecoveryDelay = dmax
+	}
+	if out.RecoveryDelay >= dmax {
+		obsRecoveryFailures.Inc()
+	}
+	if tr.Enabled() {
+		t := simTime(out.RecoveryDelay)
+		switch {
+		case out.RecoveryDelay >= dmax:
+			tr.Event(t, "recovery_failed", obs.Fint("mcs", int64(out.FinalMCS)))
+		case out.FinalMCS < e.InitMCS:
+			tr.Event(t, "mcs_down",
+				obs.Fint("from", int64(e.InitMCS)), obs.Fint("to", int64(out.FinalMCS)))
+		case out.FinalMCS > e.InitMCS:
+			tr.Event(t, "mcs_up",
+				obs.Fint("from", int64(e.InitMCS)), obs.Fint("to", int64(out.FinalMCS)))
+		default:
+			tr.Event(t, "recovered", obs.Fint("mcs", int64(out.FinalMCS)))
+		}
 	}
 	out.Bytes = bytes
 	return out
@@ -266,22 +312,37 @@ func naPenalty(p Params) time.Duration { return 2 * p.FAT }
 // RunEntry simulates one policy over one dataset entry's link break. clf is
 // only consulted by the LiBRA policy; pass nil for the others.
 func RunEntry(e *dataset.Entry, p Params, pol Policy, clf core.Classifier) Outcome {
+	if c, ok := obsPolicyRuns[pol]; ok {
+		c.Inc()
+	}
+	tr := p.Trace
+	if tr.Enabled() {
+		tr.Event(obs.SimTime{}, "break", obs.Fint("init_mcs", int64(e.InitMCS)))
+	}
 	switch pol {
 	case BAFirst:
 		return runPlan(e, p, true)
 	case RAFirst:
 		return runPlan(e, p, false)
-	case OracleData:
-		ba := runPlan(e, p, true)
-		ra := runPlan(e, p, false)
-		if ra.Bytes >= ba.Bytes {
-			return ra
+	case OracleData, OracleDelay:
+		// The oracle explores both plans; the exploratory runs carry no
+		// trace (the chosen branch would otherwise appear twice).
+		pq := p
+		pq.Trace = nil
+		ba := runPlan(e, pq, true)
+		ra := runPlan(e, pq, false)
+		pickRA := ra.Bytes >= ba.Bytes
+		if pol == OracleDelay {
+			pickRA = ra.RecoveryDelay <= ba.RecoveryDelay
 		}
-		return ba
-	case OracleDelay:
-		ba := runPlan(e, p, true)
-		ra := runPlan(e, p, false)
-		if ra.RecoveryDelay <= ba.RecoveryDelay {
+		if tr.Enabled() {
+			plan := "ba"
+			if pickRA {
+				plan = "ra"
+			}
+			tr.Event(obs.SimTime{}, "oracle_pick", obs.F("plan", plan))
+		}
+		if pickRA {
 			return ra
 		}
 		return ba
@@ -294,6 +355,9 @@ func RunEntry(e *dataset.Entry, p Params, pol Policy, clf core.Classifier) Outco
 			action = core.MissingACKAction(e.InitMCS, cfg)
 		} else {
 			action = clf.Classify(e.FeatureSlice())
+		}
+		if tr.Enabled() && int(action) < len(actionNames) {
+			tr.Event(obs.SimTime{}, "verdict", obs.F("action", actionNames[action]))
 		}
 		switch action {
 		case dataset.ActBA:

@@ -6,6 +6,7 @@ import (
 	"github.com/libra-wlan/libra/internal/channel"
 	"github.com/libra-wlan/libra/internal/core"
 	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/obs"
 	"github.com/libra-wlan/libra/internal/phy"
 	"github.com/libra-wlan/libra/internal/trace"
 )
@@ -79,13 +80,16 @@ func RunTimeline(tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) 
 	st.prevMeas = first.Measure(st.txBeam, st.rxBeam)
 	st.prevValid = true
 
+	var tlElapsed time.Duration
 	emit := func(dur time.Duration, bps float64) {
 		if dur <= 0 {
 			return
 		}
 		res.Rate = append(res.Rate, RateInterval{Dur: dur, Bps: bps})
 		res.Bytes += bps * dur.Seconds() / 8
+		tlElapsed += dur
 	}
+	tr := p.Trace
 
 	for si, seg := range tl.Segments {
 		snap := seg.Snap
@@ -95,10 +99,27 @@ func RunTimeline(tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) 
 		if si > 0 && !working(cur[st.mcs]) {
 			// Link break at the segment boundary.
 			res.Breaks++
+			obsTimelineBreaks.Inc()
+			if tr.Enabled() {
+				tr.Event(simTime(tlElapsed), "break",
+					obs.Fint("segment", int64(si)), obs.Fint("mcs", int64(st.mcs)))
+			}
 			action := decideTimeline(pol, clf, cfg, snap, &st, &cur, p)
+			if tr.Enabled() && int(action) < len(actionNames) {
+				tr.Event(simTime(tlElapsed), "verdict",
+					obs.F("action", actionNames[action]))
+			}
 			rec, executed := applyAdaptation(action, snap, &st, &cur, p, emit, &remaining)
 			res.TotalRecoveryDelay += rec
 			res.Actions = append(res.Actions, executed)
+			if tr.Enabled() && int(executed) < len(actionNames) {
+				kind := "ra_search"
+				if executed == dataset.ActBA {
+					kind = "rebeam"
+				}
+				tr.Event(simTime(tlElapsed), kind,
+					obs.Ffloat("recovery_s", rec.Seconds()), obs.Fint("mcs", int64(st.mcs)))
+			}
 		}
 
 		// Steady state within the segment: periodic probing walks the MCS
@@ -192,9 +213,11 @@ func planOutcome(baFirst bool, snap *channel.Snapshot, st *tlState, cur *thTable
 }
 
 // paramsForSegment reuses the entry machinery with a nominal flow window
-// long enough to capture the adaptation transient.
+// long enough to capture the adaptation transient. The oracle's exploratory
+// plan evaluations never trace (only the executed branch is an event).
 func paramsForSegment(p Params) Params {
 	p.FlowDur = 3 * time.Second
+	p.Trace = nil
 	return p
 }
 
