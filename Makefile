@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench check profile
+.PHONY: build test race vet lint bench check profile serve-bench
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,15 @@ lint:
 # breaks the determinism contracts are not reproducible evidence.
 bench: lint
 	$(GO) run ./cmd/libra-bench -bench 'Table1|Table2|CrossValidation|ForestFit|PredictBatch|SectorSweep|ClassifierInference|PolicyEntry' -benchtime 1x
+
+# serve-bench records a dated BENCH_<date>_serve.json artifact of the
+# decision service A/B (per-request vs coalesced inference, concurrency 64).
+# The 2400x20 forest is sized so model compute dominates the L2 cache — the
+# regime the coalescer exists for; see DESIGN.md §9.
+serve-bench: lint
+	$(GO) run ./cmd/libra-loadgen -c 64 -n 40000 -warmup 4000 \
+		-trees 2400 -depth 20 -max-linger 100us \
+		-json BENCH_$$(date +%F)_serve.json
 
 # check is the pre-merge gate: static analysis (vet + libra-lint) plus the
 # race-enabled suite.

@@ -1,20 +1,24 @@
 // Command libra-figures regenerates every table and figure of the paper's
 // evaluation in one run. Use -quick for a reduced-cost pass (fewer
 // cross-validation repetitions and timelines); the output shape is
-// identical.
+// identical. The command is a shell around experiments.Suite.RunContext, so
+// Ctrl-C stops cleanly at the next experiment boundary.
 //
 // Usage:
 //
-//	libra-figures [-seed N] [-quick] [-only fig10,table1,...]
+//	libra-figures [-seed N] [-quick] [-csv] [-out DIR] [-only fig10,table1,...]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/libra-wlan/libra/internal/experiments"
@@ -27,84 +31,46 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced repetitions/timelines")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	outDir := flag.String("out", "", "also write each artifact to <dir>/<key>.txt (or .csv)")
-	only := flag.String("only", "", "comma-separated subset (fig1..fig13, table1..table4, cv, transfer, threeclass, futurework, failover, alphasweep)")
+	only := flag.String("only", "",
+		"comma-separated subset ("+strings.Join(experiments.StepKeys(), ",")+")")
 	flag.Parse()
 
-	s := experiments.NewSuite(*seed)
-	reps, timelines := 20, experiments.TimelinesPerKind
-	if *quick {
-		reps, timelines = 2, 10
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	want := map[string]bool{}
+	s := experiments.NewSuite(*seed)
+	opt := experiments.RunOptions{Reps: 20}
+	if *quick {
+		opt.Reps, opt.Timelines = 2, 10
+	}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToLower(k))] = true
+			opt.Only = append(opt.Only, strings.TrimSpace(strings.ToLower(k)))
 		}
-	}
-	sel := func(key string) bool { return len(want) == 0 || want[key] }
-
-	type step struct {
-		key string
-		run func() (experiments.Result, error)
-	}
-	steps := []step{
-		{"fig1", func() (experiments.Result, error) { return experiments.Figure1(s), nil }},
-		{"fig2", func() (experiments.Result, error) { return experiments.Figure2(s), nil }},
-		{"fig3", func() (experiments.Result, error) { return experiments.Figure3(s), nil }},
-		{"table1", func() (experiments.Result, error) { return experiments.Table1(s), nil }},
-		{"table2", func() (experiments.Result, error) { return experiments.Table2(s), nil }},
-		{"fig4", func() (experiments.Result, error) { return experiments.Figure4(s), nil }},
-		{"fig5", func() (experiments.Result, error) { return experiments.Figure5(s), nil }},
-		{"fig6", func() (experiments.Result, error) { return experiments.Figure6(s), nil }},
-		{"fig7", func() (experiments.Result, error) { return experiments.Figure7(s), nil }},
-		{"fig8", func() (experiments.Result, error) { return experiments.Figure8(s), nil }},
-		{"fig9", func() (experiments.Result, error) { return experiments.Figure9(s), nil }},
-		{"cv", func() (experiments.Result, error) { return experiments.CrossValidation(s, reps) }},
-		{"transfer", func() (experiments.Result, error) { return experiments.TransferAccuracy(s) }},
-		{"table3", func() (experiments.Result, error) { return experiments.Table3(s) }},
-		{"threeclass", func() (experiments.Result, error) { return experiments.ThreeClass(s) }},
-		{"futurework", func() (experiments.Result, error) { return experiments.FutureWork(s, timelines) }},
-		{"failover", func() (experiments.Result, error) { return experiments.FailoverComparison(s, timelines/2) }},
-		{"alphasweep", func() (experiments.Result, error) { return experiments.AlphaSweep(s, 150*time.Millisecond) }},
-		{"fig10", func() (experiments.Result, error) { return experiments.Figure10(s) }},
-		{"fig11", func() (experiments.Result, error) { return experiments.Figure11(s) }},
-		{"fig12", func() (experiments.Result, error) { return experiments.Figure12(s, timelines) }},
-		{"fig13", func() (experiments.Result, error) { return experiments.Figure13(s, timelines) }},
-		{"table4", func() (experiments.Result, error) { return experiments.Table4(s, timelines) }},
 	}
 
-	failed := false
-	for _, st := range steps {
-		if !sel(st.key) {
-			continue
-		}
-		t0 := time.Now()
-		res, err := st.run()
-		if err != nil {
-			log.Printf("%s failed: %v", st.key, err)
-			failed = true
-			continue
-		}
+	t0 := time.Now()
+	opt.Emit = func(key string, res experiments.Result) error {
 		body, ext := res.String(), ".txt"
 		if *asCSV {
 			body, ext = res.CSV(), ".csv"
-			fmt.Printf("# %s\n%s\n", st.key, body)
+			fmt.Printf("# %s\n%s\n", key, body)
 		} else {
 			fmt.Println(body)
-			fmt.Printf("(%s completed in %v)\n\n", st.key, time.Since(t0).Round(time.Millisecond))
+			fmt.Printf("(%s completed at %v)\n\n", key, time.Since(t0).Round(time.Millisecond))
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				log.Fatal(err)
+				return err
 			}
-			path := filepath.Join(*outDir, st.key+ext)
+			path := filepath.Join(*outDir, key+ext)
 			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
+		return nil
 	}
-	if failed {
-		os.Exit(1)
+	if _, err := s.RunContext(ctx, opt); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,346 @@
+// Command libra-loadgen is a deterministic closed-loop load generator for
+// the libra-serve decision service. It replays measurement-campaign feature
+// vectors (fixed seed, fixed shuffle, per-worker stride) so runs are
+// comparable, and reports throughput, latency percentiles, and online
+// accuracy against the campaign's ground truth.
+//
+// Two modes:
+//
+//	-mode compare   (default) drives the serving engine in-process twice —
+//	                once uncoalesced (every request walks the forest alone)
+//	                and once through the request coalescer — and reports the
+//	                batched-over-direct speedup. This isolates the decision
+//	                engine from HTTP stack costs, which on a small host
+//	                otherwise dominate and blur the comparison.
+//	-mode http      drives a running libra-serve over HTTP (-url), closed
+//	                loop with -c workers.
+//
+// -json writes the results as a machine-readable artifact (the repo commits
+// these as BENCH_<date>_serve.json).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/ml"
+	"github.com/libra-wlan/libra/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libra-loadgen: ")
+	mode := flag.String("mode", "compare", "compare (in-process engine A/B) or http (drive a running server)")
+	url := flag.String("url", "http://127.0.0.1:8060", "server base URL (http mode)")
+	conc := flag.Int("c", 64, "closed-loop workers")
+	n := flag.Int("n", 100000, "requests per engine run")
+	warm := flag.Int("warmup", 5000, "untimed warmup requests per engine run")
+	seed := flag.Int64("seed", 42, "campaign + shuffle seed")
+	trees := flag.Int("trees", 80, "forest size of the in-process model (compare mode)")
+	depth := flag.Int("depth", 12, "tree depth of the in-process model (compare mode)")
+	model := flag.String("model", "", "serve this libra-model artifact instead of training in-process (compare mode)")
+	maxBatch := flag.Int("max-batch", 64, "coalescer batch bound for the batched run")
+	maxLinger := flag.Duration("max-linger", 200*time.Microsecond, "coalescer linger for the batched run")
+	jsonOut := flag.String("json", "", "write a JSON results artifact to this file")
+	flag.Parse()
+
+	log.Printf("generating test campaign (seed %d)", *seed)
+	camp := dataset.GenerateTest(*seed)
+	replay := serve.NewReplay(camp, *seed)
+
+	switch *mode {
+	case "compare":
+		runCompare(replay, *conc, *n, *warm, *seed, *trees, *depth, *model,
+			*maxBatch, *maxLinger, *jsonOut)
+	case "http":
+		runHTTP(*url, replay, *conc, *n, *warm, *jsonOut)
+	default:
+		log.Fatalf("unknown -mode %q (want compare or http)", *mode)
+	}
+}
+
+// engineResult is one closed-loop run's report.
+type engineResult struct {
+	Label       string  `json:"label"`
+	MaxBatch    int     `json:"max_batch"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"throughput_rps"`
+	P50ms       float64 `json:"p50_ms"`
+	P90ms       float64 `json:"p90_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	Errors      int     `json:"errors"`
+	Accuracy    float64 `json:"accuracy"`
+}
+
+func (r engineResult) String() string {
+	return fmt.Sprintf("%-8s c=%d n=%d  %10.0f req/s  p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  acc %.3f  errors %d",
+		r.Label, r.Concurrency, r.Requests, r.Throughput, r.P50ms, r.P90ms, r.P99ms, r.Accuracy, r.Errors)
+}
+
+// artifact is the -json output.
+type artifact struct {
+	Generated string         `json:"generated"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	Seed      int64          `json:"seed"`
+	Trees     int            `json:"trees,omitempty"`
+	Depth     int            `json:"depth,omitempty"`
+	Runs      []engineResult `json:"runs"`
+	Speedup   float64        `json:"speedup,omitempty"`
+}
+
+func writeArtifact(path string, a artifact) {
+	if path == "" {
+		return
+	}
+	a.Generated = time.Now().UTC().Format(time.RFC3339)
+	a.GoVersion = runtime.Version()
+	a.GOOS = runtime.GOOS
+	a.GOARCH = runtime.GOARCH
+	a.NumCPU = runtime.NumCPU()
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("results written to %s", path)
+}
+
+// runCompare A/B-tests the serving engine: direct per-request inference
+// versus the coalescer's batched path, same model, same request stream.
+func runCompare(replay *serve.Replay, conc, n, warm int,
+	seed int64, trees, depth int, model string, maxBatch int, maxLinger time.Duration,
+	jsonOut string) {
+
+	var pred serve.Predictor
+	if model != "" {
+		f, err := os.Open(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := serve.NewRegistry().Load(model, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred = m.Predictor()
+		log.Printf("serving %s from %s", m.Name, model)
+	} else {
+		// Paper-faithful split: train on the main campaign, serve the test
+		// campaign's features — accuracy below is the transfer accuracy.
+		log.Printf("training %d-tree depth-%d forest in-process on the main campaign", trees, depth)
+		rf := &ml.RandomForest{NumTrees: trees, MaxDepth: depth, Seed: seed}
+		if err := rf.Fit(dataset.GenerateMain(seed).ToML(true)); err != nil {
+			log.Fatal(err)
+		}
+		pred = rf
+	}
+
+	direct := runEngine("direct", pred, serve.CoalescerConfig{MaxBatch: 1},
+		replay, conc, n, warm)
+	fmt.Println(direct)
+	batched := runEngine("batched", pred,
+		serve.CoalescerConfig{MaxBatch: maxBatch, MaxLinger: maxLinger, QueueDepth: 4 * conc},
+		replay, conc, n, warm)
+	fmt.Println(batched)
+
+	speedup := batched.Throughput / direct.Throughput
+	fmt.Printf("speedup: batched is %.2fx direct throughput at concurrency %d\n", speedup, conc)
+	writeArtifact(jsonOut, artifact{
+		Seed: seed, Trees: trees, Depth: depth,
+		Runs:    []engineResult{direct, batched},
+		Speedup: speedup,
+	})
+}
+
+// runEngine drives one coalescer configuration closed-loop and measures it.
+func runEngine(label string, pred serve.Predictor, cfg serve.CoalescerConfig,
+	replay *serve.Replay, conc, n, warm int) engineResult {
+
+	reg := serve.NewRegistry()
+	reg.Install("loadgen", pred)
+	co := serve.NewCoalescer(reg, cfg)
+	defer co.Close()
+
+	issue := func(total int, lats [][]time.Duration, hits []int) {
+		done := make(chan struct{})
+		for w := 0; w < conc; w++ {
+			go func(w int) {
+				defer func() { done <- struct{}{} }()
+				ctx := context.Background()
+				for i := w; i < total; i += conc {
+					t0 := time.Now()
+					dec, err := co.Decide(ctx, replay.At(i))
+					if err != nil {
+						log.Fatalf("%s: decide: %v", label, err)
+					}
+					if lats != nil {
+						lats[w] = append(lats[w], time.Since(t0))
+						if dec.Action == replay.LabelAt(i) {
+							hits[w]++
+						}
+					}
+				}
+			}(w)
+		}
+		for w := 0; w < conc; w++ {
+			<-done
+		}
+	}
+
+	issue(warm, nil, nil)
+	lats := make([][]time.Duration, conc)
+	for w := range lats {
+		lats[w] = make([]time.Duration, 0, n/conc+1)
+	}
+	hits := make([]int, conc)
+	t0 := time.Now()
+	issue(n, lats, hits)
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	correct := 0
+	for w := range lats {
+		all = append(all, lats[w]...)
+		correct += hits[w]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return engineResult{
+		Label:       label,
+		MaxBatch:    cfg.MaxBatch,
+		Concurrency: conc,
+		Requests:    len(all),
+		Seconds:     elapsed.Seconds(),
+		Throughput:  float64(len(all)) / elapsed.Seconds(),
+		P50ms:       pctMs(all, 0.50),
+		P90ms:       pctMs(all, 0.90),
+		P99ms:       pctMs(all, 0.99),
+		Accuracy:    float64(correct) / float64(len(all)),
+	}
+}
+
+// runHTTP drives a running libra-serve closed-loop over HTTP.
+func runHTTP(base string, replay *serve.Replay, conc, n, warm int, jsonOut string) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * conc,
+		MaxIdleConnsPerHost: 2 * conc,
+	}}
+	url := base + "/v1/decide"
+
+	// Pre-encode every distinct request body once.
+	bodies := make([][]byte, replay.Len())
+	for i := range bodies {
+		b := append([]byte(nil), `{"features":[`...)
+		for j, v := range replay.At(i) {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		}
+		bodies[i] = append(b, `]}`...)
+	}
+
+	issue := func(total int, lats [][]time.Duration, errs, hits []int) {
+		done := make(chan struct{})
+		for w := 0; w < conc; w++ {
+			go func(w int) {
+				defer func() { done <- struct{}{} }()
+				var dec struct {
+					ActionID int `json:"action_id"`
+				}
+				for i := w; i < total; i += conc {
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/json",
+						bytes.NewReader(bodies[i%len(bodies)]))
+					ok := err == nil && resp.StatusCode == http.StatusOK
+					correct := false
+					if err == nil {
+						if ok && json.NewDecoder(resp.Body).Decode(&dec) == nil {
+							correct = dec.ActionID == int(replay.LabelAt(i))
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					if lats != nil {
+						lats[w] = append(lats[w], time.Since(t0))
+						if !ok {
+							errs[w]++
+						}
+						if correct {
+							hits[w]++
+						}
+					}
+				}
+			}(w)
+		}
+		for w := 0; w < conc; w++ {
+			<-done
+		}
+	}
+
+	issue(warm, nil, nil, nil)
+	lats := make([][]time.Duration, conc)
+	for w := range lats {
+		lats[w] = make([]time.Duration, 0, n/conc+1)
+	}
+	errs := make([]int, conc)
+	hits := make([]int, conc)
+	t0 := time.Now()
+	issue(n, lats, errs, hits)
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	nerr, correct := 0, 0
+	for w := range lats {
+		all = append(all, lats[w]...)
+		nerr += errs[w]
+		correct += hits[w]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := engineResult{
+		Label:       "http",
+		Concurrency: conc,
+		Requests:    len(all),
+		Seconds:     elapsed.Seconds(),
+		Throughput:  float64(len(all)) / elapsed.Seconds(),
+		P50ms:       pctMs(all, 0.50),
+		P90ms:       pctMs(all, 0.90),
+		P99ms:       pctMs(all, 0.99),
+		Errors:      nerr,
+		Accuracy:    float64(correct) / float64(len(all)),
+	}
+	fmt.Println(res)
+	writeArtifact(jsonOut, artifact{Runs: []engineResult{res}})
+}
+
+// pctMs returns the p-th percentile of sorted durations, in milliseconds.
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

@@ -1,0 +1,107 @@
+// Command libra-serve is the online inference service (§7 deployment
+// story): it loads a classifier persisted by libra-train -o and answers
+// per-link adaptation queries over HTTP/JSON, coalescing concurrent
+// requests into the forest's batch path, hot-swapping models atomically via
+// POST /models, and shedding overload with 429. See DESIGN.md §9.
+//
+// Usage:
+//
+//	libra-serve [-addr :8060] [-model FILE] [-max-batch N] [-max-linger D]
+//	            [-queue-depth N] [-timeout D]
+//
+// Without -model the server starts not-ready (/readyz 503) and waits for
+// the first POST /models. SIGINT/SIGTERM drain gracefully: the listener
+// stops, in-flight decisions complete, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/obs"
+	"github.com/libra-wlan/libra/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("libra-serve: ")
+	addr := flag.String("addr", ":8060", "HTTP listen address")
+	model := flag.String("model", "", "libra-model artifact to serve at startup (libra-train -o)")
+	maxBatch := flag.Int("max-batch", 64, "largest coalesced model invocation (1 disables coalescing)")
+	maxLinger := flag.Duration("max-linger", 200*time.Microsecond,
+		"how long the first request of a batch waits for company")
+	queueDepth := flag.Int("queue-depth", 1024, "admission queue bound; beyond it requests shed with 429")
+	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM")
+	oc := obs.RegisterCLI(flag.CommandLine)
+	flag.Parse()
+	if err := oc.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	reg := serve.NewRegistry()
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := reg.Load(*model, f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading %s: %v", *model, err)
+		}
+		log.Printf("serving model #%d (%s) from %s", m.ID, m.Name, m.Source)
+	} else {
+		log.Printf("no -model: starting not-ready, waiting for POST /models")
+	}
+
+	s := serve.New(reg, serve.Config{
+		Coalescer: serve.CoalescerConfig{
+			MaxBatch:   *maxBatch,
+			MaxLinger:  *maxLinger,
+			QueueDepth: *queueDepth,
+		},
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight handlers finish (their
+	// queued decisions are answered by the coalescer), then stop the
+	// dispatcher.
+	log.Printf("signal received, draining (budget %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	s.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("listener: %v", err)
+	}
+	if err := oc.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}

@@ -5,8 +5,15 @@
 //
 // Usage:
 //
-//	libra-train [-seed N] [-reps N] [-metrics-out FILE] [-trace-out FILE]
+//	libra-train [-seed N] [-reps N] [-o FILE] [-fit-only] [-trees N]
+//	            [-depth N] [-metrics-out FILE] [-trace-out FILE]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
+//
+// -o writes the trained 3-class model in the versioned libra-model format
+// that libra-serve -model consumes. -fit-only skips the study and only
+// trains and writes the model — the fast path for producing a serving
+// artifact. -trees/-depth size the saved forest (the study always uses the
+// paper's 80x12 configuration).
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"github.com/libra-wlan/libra/internal/core"
 	"github.com/libra-wlan/libra/internal/experiments"
+	"github.com/libra-wlan/libra/internal/ml"
 	"github.com/libra-wlan/libra/internal/obs"
 )
 
@@ -25,56 +33,87 @@ func main() {
 	log.SetPrefix("libra-train: ")
 	seed := flag.Int64("seed", 42, "suite random seed")
 	reps := flag.Int("reps", 10, "cross-validation repetitions (paper: 500)")
-	save := flag.String("save", "", "write the trained 3-class model to this file")
+	out := flag.String("o", "", "write the trained 3-class model (libra-model format) to this file")
+	save := flag.String("save", "", "alias for -o (kept for compatibility)")
+	fitOnly := flag.Bool("fit-only", false, "skip the CV study; only train and write the model (requires -o)")
+	trees := flag.Int("trees", 80, "forest size of the saved model")
+	depth := flag.Int("depth", 12, "maximum tree depth of the saved model")
 	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
+	if *out == "" {
+		*out = *save
+	}
+	if *fitOnly && *out == "" {
+		log.Fatal("-fit-only needs -o FILE to write the model to")
+	}
 	if err := oc.Start(); err != nil {
 		log.Fatal(err)
 	}
 
 	s := experiments.NewSuite(*seed)
-	cv, err := experiments.CrossValidation(s, *reps)
-	if err != nil {
-		log.Fatal(err)
+	if !*fitOnly {
+		cv, err := experiments.CrossValidation(s, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(cv)
+		tr, err := experiments.TransferAccuracy(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tr)
+		t3, err := experiments.Table3(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t3)
+		tc, err := experiments.ThreeClass(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tc)
+		cr, err := experiments.ConfusionReport(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(cr)
 	}
-	fmt.Println(cv)
-	tr, err := experiments.TransferAccuracy(s)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(tr)
-	t3, err := experiments.Table3(s)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(t3)
-	tc, err := experiments.ThreeClass(s)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(tc)
-	cr, err := experiments.ConfusionReport(s)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(cr)
 
-	if *save != "" {
-		clf, err := s.Classifier()
+	if *out != "" {
+		clf, err := trainModel(s, *seed, *trees, *depth)
 		if err != nil {
 			log.Fatal(err)
 		}
-		f, err := os.Create(*save)
+		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		if err := core.SaveClassifier(clf, f); err != nil {
+			f.Close()
 			log.Fatal(err)
 		}
-		fmt.Printf("trained 3-class model written to %s\n", *save)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained 3-class model (%d trees, depth %d) written to %s\n",
+			*trees, *depth, *out)
 	}
 	if err := oc.Stop(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// trainModel fits the shipped 3-class forest. The default 80x12 shape goes
+// through the suite's shared classifier (identical to what the study
+// evaluates); custom shapes train directly on the main campaign with the
+// same seed derivation.
+func trainModel(s *experiments.Suite, seed int64, trees, depth int) (*core.MLClassifier, error) {
+	if trees == 80 && depth == 12 {
+		return s.Classifier()
+	}
+	rf := &ml.RandomForest{NumTrees: trees, MaxDepth: depth, Seed: seed + 2}
+	if err := rf.Fit(s.Main().ToML(true)); err != nil {
+		return nil, err
+	}
+	return &core.MLClassifier{Model: rf}, nil
 }

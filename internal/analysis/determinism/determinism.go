@@ -24,7 +24,10 @@ var Analyzer = &analysis.Analyzer{
 		"the library packages (internal/..., examples/..., and the root " +
 		"package); cmd/ binaries are exempt, as are internal/obs's metrics " +
 		"files — the one sanctioned home for wall-clock reads — but not its " +
-		"sim-time tracer (trace*.go), whose output must stay reproducible",
+		"sim-time tracer (trace*.go), whose output must stay reproducible; " +
+		"internal/serve gets the same per-file treatment: the online serving " +
+		"layer (latency deadlines, batch lingers) legitimately reads the wall " +
+		"clock, but its deterministic replay sources (replay*.go) do not",
 	Run: run,
 }
 
@@ -76,19 +79,28 @@ func exemptPackage(pkg *types.Package) bool {
 	return strings.Contains(pkg.Path()+"/", "/cmd/")
 }
 
-// obsMetricsFile reports whether pos falls inside internal/obs's metrics
-// paths, the one library location where wall-clock reads are the point:
-// engine-side diagnostics (timer histograms, profile stamps) measure real
-// elapsed time by design. The exemption is per-file, not per-package — the
-// obs package's sim-time tracer lives in trace*.go and stays banned, because
-// trace output promises byte-identical bytes for any worker count.
-func obsMetricsFile(pass *analysis.Pass, pos token.Pos) bool {
+// wallClockFile reports whether pos falls inside one of the two library
+// locations where wall-clock reads are the point, each a per-file (not
+// per-package) carve-out:
+//
+//   - internal/obs's metrics files: engine-side diagnostics (timer
+//     histograms, profile stamps) measure real elapsed time by design. The
+//     package's sim-time tracer lives in trace*.go and stays banned, because
+//     trace output promises byte-identical bytes for any worker count.
+//   - internal/serve, the online inference service: request deadlines and
+//     batch lingers are wall-clock phenomena. Its deterministic replay
+//     sources live in replay*.go and stay banned, because a fixed-seed
+//     request stream must be reproducible for load results to be comparable.
+func wallClockFile(pass *analysis.Pass, pos token.Pos) bool {
 	path := pass.Pkg.Path()
-	if path != "obs" && !strings.HasSuffix(path, "/obs") {
-		return false
-	}
 	file := filepath.Base(pass.Fset.Position(pos).Filename)
-	return !strings.HasPrefix(file, "trace")
+	switch {
+	case path == "obs" || strings.HasSuffix(path, "/obs"):
+		return !strings.HasPrefix(file, "trace")
+	case path == "serve" || strings.HasSuffix(path, "/serve"):
+		return !strings.HasPrefix(file, "replay")
+	}
+	return false
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
@@ -98,7 +110,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	}
 	switch callee.Pkg().Path() {
 	case "time":
-		if (callee.Name() == "Now" || callee.Name() == "Since") && !obsMetricsFile(pass, call.Pos()) {
+		if (callee.Name() == "Now" || callee.Name() == "Since") && !wallClockFile(pass, call.Pos()) {
 			pass.Reportf(call.Pos(),
 				"time.%s makes output wall-clock-dependent; plumb an explicit timestamp, derive times from the simulation clock, or route the measurement through an obs metric", callee.Name())
 		}

@@ -9,5 +9,5 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
-		"determfix", "cmdexempt", "obs")
+		"determfix", "cmdexempt", "obs", "serve")
 }

@@ -1,0 +1,12 @@
+package serve
+
+import "time"
+
+// badReplaySeed is the replay side of the serve contract: replay*.go
+// promises a reproducible fixed-seed request stream, so wall-clock reads
+// are flagged even though the surrounding package is serve.
+func badReplaySeed() int64 {
+	t := time.Now()   // want `time\.Now makes output wall-clock-dependent`
+	_ = time.Since(t) // want `time\.Since makes output wall-clock-dependent`
+	return t.UnixNano()
+}

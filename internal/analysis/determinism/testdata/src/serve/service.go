@@ -1,0 +1,16 @@
+// Package serve mirrors internal/serve's file layout so the determinism
+// tests can pin the analyzer's carve-out: wall-clock reads in the serving
+// layer's engine files are sanctioned, while the same reads in its
+// deterministic replay sources (replay*.go) stay flagged (see replay.go in
+// this fixture).
+package serve
+
+import "time"
+
+// latency mirrors the sanctioned serving-side wall-clock use: request
+// deadlines and batch lingers measure real elapsed time by design, so
+// neither call below carries a want annotation.
+func latency() float64 {
+	t0 := time.Now()
+	return time.Since(t0).Seconds()
+}

@@ -13,8 +13,11 @@
 package core
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/libra-wlan/libra/internal/dataset"
@@ -174,20 +177,69 @@ func ProbeBackoff(t0, k int) int {
 	return t0 * mult
 }
 
+// Model persistence format. A serialized classifier is a one-line ASCII
+// header followed by the model body:
+//
+//	libra-model v2 random-forest\n
+//	{...forest JSON (ml.RandomForest.WriteJSON)...}
+//
+// The header makes the artifact self-describing: loaders can sniff the
+// format without parsing JSON, reject incompatible versions with a clear
+// error, and route future model families to their own decoders. Version 1
+// is the historical headerless format (bare forest JSON); LoadClassifier
+// still accepts it.
+const (
+	// ModelMagic is the first token of every headered model file.
+	ModelMagic = "libra-model"
+	// ModelFormatVersion is the current on-disk format version.
+	ModelFormatVersion = 2
+)
+
+// modelFamilyForest is the only model family serialized today.
+const modelFamilyForest = "random-forest"
+
 // SaveClassifier serializes a trained MLClassifier whose model is a random
 // forest — the artifact a vendor ships in firmware (§7's offline-training
-// deployment story).
+// deployment story) and the file libra-serve loads. The output is
+// serialization-stable: saving a loaded model reproduces the input bytes.
 func SaveClassifier(c *MLClassifier, w io.Writer) error {
 	rf, ok := c.Model.(*ml.RandomForest)
 	if !ok {
 		return fmt.Errorf("core: only random-forest classifiers serialize (got %s)", c.Name())
 	}
+	if _, err := fmt.Fprintf(w, "%s v%d %s\n", ModelMagic, ModelFormatVersion, modelFamilyForest); err != nil {
+		return fmt.Errorf("core: writing model header: %w", err)
+	}
 	return rf.WriteJSON(w)
 }
 
-// LoadClassifier deserializes a classifier written by SaveClassifier.
+// LoadClassifier deserializes a classifier written by SaveClassifier. Both
+// the current headered format and the legacy headerless v1 format (bare
+// forest JSON) are accepted.
 func LoadClassifier(r io.Reader) (*MLClassifier, error) {
-	rf, err := ml.ReadForestJSON(r)
+	br := bufio.NewReader(r)
+	peek, err := br.Peek(len(ModelMagic))
+	if err == nil && string(peek) == ModelMagic {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("core: reading model header: %w", err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("core: malformed model header %q", strings.TrimSpace(line))
+		}
+		version, err := strconv.Atoi(strings.TrimPrefix(fields[1], "v"))
+		if err != nil || !strings.HasPrefix(fields[1], "v") {
+			return nil, fmt.Errorf("core: malformed model version %q", fields[1])
+		}
+		if version > ModelFormatVersion {
+			return nil, fmt.Errorf("core: model format v%d is newer than this build supports (v%d)", version, ModelFormatVersion)
+		}
+		if fields[2] != modelFamilyForest {
+			return nil, fmt.Errorf("core: unsupported model family %q", fields[2])
+		}
+	}
+	rf, err := ml.ReadForestJSON(br)
 	if err != nil {
 		return nil, fmt.Errorf("core: loading classifier: %w", err)
 	}

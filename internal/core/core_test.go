@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -199,6 +201,82 @@ func TestClassifierSaveLoad(t *testing.T) {
 	for _, e := range camp.Entries[:100] {
 		if clf.Classify(e.FeatureSlice()) != loaded.Classify(e.FeatureSlice()) {
 			t.Fatal("loaded classifier diverged")
+		}
+	}
+}
+
+// TestModelFormatGoldenRoundTrip pins the on-disk model contract:
+// the artifact leads with the versioned header, load(save(m)) predicts
+// byte-identically to m over a whole campaign, and save(load(save(m)))
+// reproduces the serialized bytes exactly — the format is stable under
+// round-trips, so artifacts can be re-saved without drift.
+func TestModelFormatGoldenRoundTrip(t *testing.T) {
+	camp := dataset.GenerateTest(6)
+	clf, err := TrainDefaultClassifier(camp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := SaveClassifier(clf, &first); err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := fmt.Sprintf("%s v%d random-forest\n", ModelMagic, ModelFormatVersion)
+	if !strings.HasPrefix(first.String(), wantHeader) {
+		t.Fatalf("artifact header = %q, want prefix %q", first.String()[:40], wantHeader)
+	}
+	loaded, err := LoadClassifier(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range camp.Entries {
+		if clf.Classify(e.FeatureSlice()) != loaded.Classify(e.FeatureSlice()) {
+			t.Fatalf("entry %d: loaded classifier diverged", i)
+		}
+	}
+	var second bytes.Buffer
+	if err := SaveClassifier(loaded, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("save(load(save(m))) is not byte-identical to save(m)")
+	}
+}
+
+// TestLoadClassifierLegacyV1 keeps the historical headerless format (bare
+// forest JSON, as written before the versioned header existed) loadable.
+func TestLoadClassifierLegacyV1(t *testing.T) {
+	camp := dataset.GenerateTest(6)
+	clf, err := TrainDefaultClassifier(camp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := clf.Model.(*ml.RandomForest)
+	var legacy bytes.Buffer
+	if err := rf.WriteJSON(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadClassifier(&legacy)
+	if err != nil {
+		t.Fatalf("legacy v1 artifact rejected: %v", err)
+	}
+	for _, e := range camp.Entries[:50] {
+		if clf.Classify(e.FeatureSlice()) != loaded.Classify(e.FeatureSlice()) {
+			t.Fatal("legacy-loaded classifier diverged")
+		}
+	}
+}
+
+func TestLoadClassifierRejectsBadHeaders(t *testing.T) {
+	cases := map[string]string{
+		"future version":     "libra-model v99 random-forest\n{}",
+		"unknown family":     "libra-model v2 neural-net\n{}",
+		"malformed header":   "libra-model v2\n{}",
+		"malformed version":  "libra-model x2 random-forest\n{}",
+		"truncated artifact": "libra-model",
+	}
+	for name, in := range cases {
+		if _, err := LoadClassifier(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: artifact accepted", name)
 		}
 	}
 }

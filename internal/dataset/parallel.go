@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -45,6 +46,21 @@ func specPositions(s *displacementSpec) int {
 // count: per-spec RNG streams and position-ID bases are derived up front,
 // independent of scheduling.
 func generate(seed int64, building, name string, specs []*displacementSpec, txSeed func(int) int64, workers int) *Campaign {
+	camp, err := generateCtx(context.Background(), seed, building, name, specs, txSeed, workers)
+	if err != nil {
+		// Unreachable: Background is never canceled.
+		panic(err)
+	}
+	return camp
+}
+
+// generateCtx is generate with cooperative cancellation at spec boundaries:
+// a canceled ctx stops new specs from being dispatched, lets in-flight specs
+// finish, and returns ctx's error with no campaign. Specs are the sharding
+// unit of the engine, so cancellation latency is one spec's generation time.
+// A run that completes is unaffected by ctx: the campaign bytes only depend
+// on the seed.
+func generateCtx(ctx context.Context, seed int64, building, name string, specs []*displacementSpec, txSeed func(int) int64, workers int) (*Campaign, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -81,6 +97,9 @@ func generate(seed int64, building, name string, specs []*displacementSpec, txSe
 	}
 	if workers <= 1 {
 		for i := range specs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			runOne(i)
 		}
 	} else {
@@ -95,11 +114,19 @@ func generate(seed int64, building, name string, specs []*displacementSpec, txSe
 				}
 			}()
 		}
+	dispatch:
 		for i := range specs {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(jobs)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	camp := &Campaign{Dataset: Dataset{Name: name}}
@@ -107,5 +134,5 @@ func generate(seed int64, building, name string, specs []*displacementSpec, txSe
 		camp.Entries = append(camp.Entries, g.camp.Entries...)
 		camp.Sites = append(camp.Sites, g.camp.Sites...)
 	}
-	return camp
+	return camp, nil
 }

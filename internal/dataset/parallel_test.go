@@ -2,6 +2,8 @@ package dataset
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -105,4 +107,38 @@ func TestSpecPositionsMatchesRun(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestGenerateContextCanceled covers the cooperative-cancellation contract:
+// a pre-canceled context yields no campaign and the context's error, on both
+// the sequential and the parallel dispatch paths.
+func TestGenerateContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		camp, err := generateCtx(ctx, 43, "test", "testing", testSpecs(),
+			func(i int) int64 { return 43 + int64(i+7)*2000 }, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if camp != nil {
+			t.Errorf("workers=%d: got a partial campaign on cancellation", workers)
+		}
+	}
+	if _, err := GenerateTestContext(ctx, 43); !errors.Is(err, context.Canceled) {
+		t.Errorf("GenerateTestContext err = %v, want context.Canceled", err)
+	}
+	if _, err := GenerateMainContext(ctx, 42); !errors.Is(err, context.Canceled) {
+		t.Errorf("GenerateMainContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestGenerateContextMatchesPlain: a context run that completes is
+// byte-identical to the plain entry point for the same seed.
+func TestGenerateContextMatchesPlain(t *testing.T) {
+	got, err := GenerateTestContext(context.Background(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalCampaigns(t, GenerateTest(43), got)
 }

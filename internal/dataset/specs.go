@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"context"
+
 	"github.com/libra-wlan/libra/internal/env"
 	"github.com/libra-wlan/libra/internal/geom"
 )
@@ -207,6 +209,20 @@ func GenerateMainWorkers(seed int64, workers int) *Campaign {
 	return camp
 }
 
+// GenerateMainContext is GenerateMain with cooperative cancellation at spec
+// (shard) boundaries: a canceled ctx stops dispatching new specs, waits for
+// in-flight ones, and returns ctx's error. A completed campaign is identical
+// to GenerateMain's for the same seed.
+func GenerateMainContext(ctx context.Context, seed int64) (*Campaign, error) {
+	camp, err := generateCtx(ctx, seed, "main", "main", mainSpecs(),
+		func(i int) int64 { return seed + int64(i+1)*1000 }, 0)
+	if err != nil {
+		return nil, err
+	}
+	expectCounts(camp, 479, 81, 108)
+	return camp, nil
+}
+
 // GenerateTest produces the testing dataset (Table 2) collected in two
 // different buildings: 228 labeled entries — 165 displacement, 27 blockage,
 // 36 interference — plus NA augmentation.
@@ -221,4 +237,16 @@ func GenerateTestWorkers(seed int64, workers int) *Campaign {
 		func(i int) int64 { return seed + int64(i+7)*2000 }, workers)
 	expectCounts(camp, 165, 27, 36)
 	return camp
+}
+
+// GenerateTestContext is GenerateTest with cooperative cancellation at spec
+// (shard) boundaries; see GenerateMainContext.
+func GenerateTestContext(ctx context.Context, seed int64) (*Campaign, error) {
+	camp, err := generateCtx(ctx, seed, "test", "testing", testSpecs(),
+		func(i int) int64 { return seed + int64(i+7)*2000 }, 0)
+	if err != nil {
+		return nil, err
+	}
+	expectCounts(camp, 165, 27, 36)
+	return camp, nil
 }

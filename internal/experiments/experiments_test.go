@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -516,5 +518,46 @@ func TestSectorSparkline(t *testing.T) {
 	long := make([]cots.SectorSample, 500)
 	if w := len(sectorSparkline(long, 72)); w != 72 {
 		t.Errorf("width = %d", w)
+	}
+}
+
+// TestSuiteRun covers the orchestrator: named subsets run in canonical
+// order, unknown step names fail loudly, Emit streams artifacts, and a
+// canceled context stops before the next step.
+func TestSuiteRun(t *testing.T) {
+	s := testSuite(t)
+	var emitted []string
+	res, err := s.Run(RunOptions{
+		Only: []string{"table2", "fig1"},
+		Emit: func(key string, r Result) error {
+			emitted = append(emitted, key)
+			if r.String() == "" {
+				t.Errorf("step %s produced empty output", key)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Key != "fig1" || res[1].Key != "table2" {
+		t.Fatalf("results = %+v, want canonical order fig1, table2", res)
+	}
+	if len(emitted) != 2 {
+		t.Fatalf("emit saw %v", emitted)
+	}
+
+	if _, err := s.Run(RunOptions{Only: []string{"nosuch"}}); err == nil {
+		t.Fatal("unknown step name accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done, err := s.RunContext(ctx, RunOptions{Only: []string{"table2"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("canceled run completed %d steps", len(done))
 	}
 }

@@ -8,6 +8,7 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -180,6 +181,15 @@ type CVResult struct {
 // per-fold scores aggregate in fold order, so the result is identical to a
 // sequential run.
 func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
+	return CrossValidateContext(context.Background(), factory, d, k, rng)
+}
+
+// CrossValidateContext is CrossValidate with cooperative cancellation at
+// fold boundaries: a canceled ctx stops new folds from launching, waits for
+// in-flight folds, and returns ctx's error. The splits are still drawn from
+// rng up front, so a run that completes is identical to CrossValidate's for
+// the same rng state.
+func CrossValidateContext(ctx context.Context, factory func() Classifier, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
 	folds := StratifiedKFold(d.Y, k, rng)
 	type foldScore struct {
 		acc, f1 float64
@@ -189,6 +199,9 @@ func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for fi := range folds {
+		if err := ctx.Err(); err != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(fi int) {
@@ -212,6 +225,9 @@ func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand)
 		}(fi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return CVResult{}, err
+	}
 	var res CVResult
 	for _, sc := range scores {
 		if sc.err != nil {
@@ -232,9 +248,15 @@ func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand)
 // fresh random splits (the paper repeats 500 times) and returns the mean of
 // the per-repetition results.
 func RepeatedCV(factory func() Classifier, d *Dataset, k, reps int, rng *rand.Rand) (CVResult, error) {
+	return RepeatedCVContext(context.Background(), factory, d, k, reps, rng)
+}
+
+// RepeatedCVContext is RepeatedCV with cooperative cancellation between
+// repetitions and at fold boundaries within each repetition.
+func RepeatedCVContext(ctx context.Context, factory func() Classifier, d *Dataset, k, reps int, rng *rand.Rand) (CVResult, error) {
 	var agg CVResult
 	for r := 0; r < reps; r++ {
-		res, err := CrossValidate(factory, d, k, rng)
+		res, err := CrossValidateContext(ctx, factory, d, k, rng)
 		if err != nil {
 			return CVResult{}, err
 		}

@@ -2,7 +2,10 @@ package ml
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -132,4 +135,38 @@ func ExampleRandomForest_PredictBatch() {
 	out := rf.PredictBatch(train.X[:4], nil)
 	fmt.Println(len(out))
 	// Output: 4
+}
+
+// TestCrossValidateContextCanceled: a pre-canceled context stops the fold
+// fan-out at the shard boundary and surfaces the context's error, for both
+// single-shot and repeated cross-validation.
+func TestCrossValidateContextCanceled(t *testing.T) {
+	d := xorData(200, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	factory := func() Classifier { return &DecisionTree{MaxDepth: 4, Rng: rand.New(rand.NewSource(1))} }
+	if _, err := CrossValidateContext(ctx, factory, d, 5, rand.New(rand.NewSource(2))); !errors.Is(err, context.Canceled) {
+		t.Errorf("CrossValidateContext err = %v, want context.Canceled", err)
+	}
+	if _, err := RepeatedCVContext(ctx, factory, d, 5, 3, rand.New(rand.NewSource(2))); !errors.Is(err, context.Canceled) {
+		t.Errorf("RepeatedCVContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCrossValidateContextMatchesPlain: a context run that completes equals
+// the plain entry point for the same rng state.
+func TestCrossValidateContextMatchesPlain(t *testing.T) {
+	d := xorData(200, 3)
+	factory := func() Classifier { return &DecisionTree{MaxDepth: 4, Rng: rand.New(rand.NewSource(1))} }
+	want, err := CrossValidate(factory, d, 5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CrossValidateContext(context.Background(), factory, d, 5, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Errorf("context CV result %+v differs from plain %+v", got, want)
+	}
 }

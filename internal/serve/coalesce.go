@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+)
+
+// The request coalescer turns many concurrent single-prediction requests
+// into few batched model invocations. Per-request forest inference walks
+// every tree once per sample, evicting each tree's node array between
+// requests; the batch path (ml.RandomForest.PredictProbaBatch) iterates
+// trees in the outer loop so each compiled tree stays cache-resident across
+// the whole batch and the walk allocates nothing. Under concurrent load the
+// coalescer recovers that locality: the dispatcher collects up to MaxBatch
+// requests (waiting at most MaxLinger after the first), runs one batch
+// inference against an atomically captured model snapshot, and fans the
+// rows back out.
+//
+// The admission queue doubles as the service's backpressure valve: it is a
+// bounded channel, and when it is full Decide fails fast with ErrOverloaded
+// instead of letting latency grow without bound (the HTTP layer translates
+// that to 429). Request deadlines are honored cooperatively: a waiter
+// abandons its slot when its context expires, and the dispatcher discards
+// requests whose context is already dead at dequeue instead of spending
+// model time on them.
+
+// ErrOverloaded is returned when the admission queue is full.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// ErrDraining is returned for requests arriving after Close began.
+var ErrDraining = errors.New("serve: draining")
+
+// Decision is one answered prediction.
+type Decision struct {
+	// Action is the classifier's verdict for the feature vector.
+	Action dataset.Action
+	// Proba is the per-class probability row (BA, RA, NA order).
+	Proba []float64
+	// Model identifies the registry version that answered.
+	Model *Model
+}
+
+// pending is one request in flight through the coalescer.
+type pending struct {
+	x    []float64
+	ctx  context.Context
+	done chan struct{}
+	dec  Decision
+	err  error
+}
+
+// CoalescerConfig sizes the batching engine.
+type CoalescerConfig struct {
+	// MaxBatch is the largest model invocation (<= 0 selects 64; 1
+	// disables coalescing — every request predicts inline).
+	MaxBatch int
+	// MaxLinger bounds how long the first request of a batch waits for
+	// company (<= 0 selects 200µs; meaningful only when MaxBatch > 1).
+	MaxLinger time.Duration
+	// QueueDepth bounds the admission queue (<= 0 selects 1024;
+	// meaningful only when MaxBatch > 1).
+	QueueDepth int
+}
+
+// withDefaults resolves the zero values.
+func (c CoalescerConfig) withDefaults() CoalescerConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 200 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// Coalescer batches concurrent decisions into the model's batch path.
+type Coalescer struct {
+	cfg   CoalescerConfig
+	reg   *Registry
+	queue chan *pending
+
+	mu      sync.RWMutex
+	closing bool
+
+	dispatcherDone chan struct{}
+
+	// Dispatcher-owned scratch (single goroutine, reused across batches).
+	batch []*pending
+	x     [][]float64
+	proba []float64
+}
+
+// NewCoalescer starts a coalescer serving predictions from reg's active
+// model. Callers own the lifecycle: Close drains and stops the dispatcher.
+func NewCoalescer(reg *Registry, cfg CoalescerConfig) *Coalescer {
+	cfg = cfg.withDefaults()
+	c := &Coalescer{
+		cfg:            cfg,
+		reg:            reg,
+		queue:          make(chan *pending, cfg.QueueDepth),
+		dispatcherDone: make(chan struct{}),
+		batch:          make([]*pending, 0, cfg.MaxBatch),
+		x:              make([][]float64, 0, cfg.MaxBatch),
+	}
+	if cfg.MaxBatch > 1 {
+		go c.dispatch()
+	} else {
+		close(c.dispatcherDone)
+	}
+	return c
+}
+
+// Decide answers one feature vector, batching with concurrent callers when
+// coalescing is enabled. It fails fast with ErrOverloaded when the
+// admission queue is full, ErrDraining after Close began, ErrNoModel before
+// the first model load, and ctx.Err() when the request's deadline expires
+// before a result is ready.
+func (c *Coalescer) Decide(ctx context.Context, x []float64) (Decision, error) {
+	if c.cfg.MaxBatch <= 1 {
+		return c.decideInline(ctx, x)
+	}
+	p := &pending{x: x, ctx: ctx, done: make(chan struct{})}
+
+	c.mu.RLock()
+	if c.closing {
+		c.mu.RUnlock()
+		return Decision{}, ErrDraining
+	}
+	select {
+	case c.queue <- p:
+		obsQueueDepth.Inc()
+	default:
+		c.mu.RUnlock()
+		obsShed.Inc()
+		return Decision{}, ErrOverloaded
+	}
+	c.mu.RUnlock()
+
+	select {
+	case <-p.done:
+		return p.dec, p.err
+	case <-ctx.Done():
+		obsCanceled.Inc()
+		return Decision{}, ctx.Err()
+	}
+}
+
+// decideInline is the uncoalesced path: one model walk per request.
+func (c *Coalescer) decideInline(ctx context.Context, x []float64) (Decision, error) {
+	if err := ctx.Err(); err != nil {
+		obsCanceled.Inc()
+		return Decision{}, err
+	}
+	c.mu.RLock()
+	closing := c.closing
+	c.mu.RUnlock()
+	if closing {
+		return Decision{}, ErrDraining
+	}
+	m := c.reg.Active()
+	if m == nil {
+		return Decision{}, ErrNoModel
+	}
+	obsBatchSize.Observe(1)
+	proba := m.pred.Proba(x)
+	return Decision{Action: dataset.Action(argmax(proba)), Proba: proba, Model: m}, nil
+}
+
+// Close stops admissions, waits for queued requests to be answered, and
+// stops the dispatcher. Safe to call once; Decide calls racing with Close
+// either complete normally or fail with ErrDraining.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		<-c.dispatcherDone
+		return
+	}
+	c.closing = true
+	c.mu.Unlock()
+	// No sender can be inside the enqueue critical section now, and none
+	// will enter it again, so closing the queue is safe; the dispatcher
+	// flushes what remains and exits.
+	if c.cfg.MaxBatch > 1 {
+		close(c.queue)
+	}
+	<-c.dispatcherDone
+}
+
+// dispatch is the single consumer of the admission queue.
+func (c *Coalescer) dispatch() {
+	defer close(c.dispatcherDone)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		p, ok := <-c.queue
+		if !ok {
+			return
+		}
+		obsQueueDepth.Dec()
+		batch := append(c.batch[:0], p)
+
+		// Linger: wait up to MaxLinger (measured from the first request)
+		// for the batch to fill.
+		timer.Reset(c.cfg.MaxLinger)
+		closed := false
+	collect:
+		for len(batch) < c.cfg.MaxBatch {
+			select {
+			case q, more := <-c.queue:
+				if !more {
+					closed = true
+					break collect
+				}
+				obsQueueDepth.Dec()
+				batch = append(batch, q)
+			case <-timer.C:
+				break collect
+			}
+		}
+		if !timer.Stop() && !closed {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		c.flush(batch)
+		if closed {
+			// Drain stragglers enqueued before Close flipped the gate.
+			rest := c.batch[:0]
+			for q := range c.queue {
+				obsQueueDepth.Dec()
+				rest = append(rest, q)
+			}
+			if len(rest) > 0 {
+				c.flush(rest)
+			}
+			return
+		}
+	}
+}
+
+// flush answers one batch with a single model invocation against one
+// atomically captured model snapshot — a concurrent hot-swap never splits a
+// batch across versions or drops a request.
+func (c *Coalescer) flush(batch []*pending) {
+	// Discard requests whose waiter already gave up: their context is
+	// dead, so model time spent on them is wasted.
+	live := batch[:0]
+	for _, p := range batch {
+		if p.ctx.Err() != nil {
+			p.err = p.ctx.Err()
+			close(p.done)
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	m := c.reg.Active()
+	if m == nil {
+		for _, p := range live {
+			p.err = ErrNoModel
+			close(p.done)
+		}
+		return
+	}
+	obsBatchSize.Observe(float64(len(live)))
+	x := c.x[:0]
+	for _, p := range live {
+		x = append(x, p.x)
+	}
+	c.x = x
+	c.proba = m.pred.PredictProbaBatch(x, c.proba)
+	nc := m.Classes
+	for i, p := range live {
+		row := c.proba[i*nc : (i+1)*nc]
+		// The scratch row is reused by the next batch; hand the waiter
+		// its own copy.
+		p.dec = Decision{
+			Action: dataset.Action(argmax(row)),
+			Proba:  append(make([]float64, 0, nc), row...),
+			Model:  m,
+		}
+		close(p.done)
+	}
+}
+
+// argmax returns the index of the first maximum, matching the forest's own
+// tie-breaking (lowest class wins).
+func argmax(row []float64) int {
+	best, bestV := 0, row[0]
+	for i, v := range row[1:] {
+		if v > bestV {
+			best, bestV = i+1, v
+		}
+	}
+	return best
+}

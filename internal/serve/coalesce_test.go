@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/ml"
+)
+
+// fakePred is a controllable Predictor: it answers a fixed class, counts
+// batch invocations and their sizes, and can block inside the model call
+// until released (to pin requests in the queue).
+type fakePred struct {
+	class   int
+	classes int
+	gate    chan struct{} // non-nil: every batch call blocks until a receive succeeds
+
+	mu      sync.Mutex
+	batches []int // size of each batch invocation
+	samples int
+}
+
+func (f *fakePred) Name() string    { return "fake" }
+func (f *fakePred) NumClasses() int { return f.classes }
+
+func (f *fakePred) record(n int) {
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.batches = append(f.batches, n)
+	f.samples += n
+	f.mu.Unlock()
+}
+
+func (f *fakePred) row() []float64 {
+	p := make([]float64, f.classes)
+	p[f.class] = 1
+	return p
+}
+
+func (f *fakePred) Predict(x []float64) int { f.record(1); return f.class }
+func (f *fakePred) Proba(x []float64) []float64 {
+	f.record(1)
+	return f.row()
+}
+func (f *fakePred) PredictBatch(X [][]float64, out []int) []int {
+	f.record(len(X))
+	out = out[:0]
+	for range X {
+		out = append(out, f.class)
+	}
+	return out
+}
+func (f *fakePred) PredictProbaBatch(X [][]float64, out []float64) []float64 {
+	f.record(len(X))
+	out = out[:0]
+	for range X {
+		out = append(out, f.row()...)
+	}
+	return out
+}
+
+func (f *fakePred) stats() (batches, samples, maxBatch int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, b := range f.batches {
+		if b > maxBatch {
+			maxBatch = b
+		}
+	}
+	return len(f.batches), f.samples, maxBatch
+}
+
+// testRow is an arbitrary feature vector for fake-model tests.
+var testRow = []float64{1, 2, 3, 4, 5, 6, 7}
+
+// TestCoalescerBatches drives many concurrent requests through a slow-ish
+// model and checks they ride in shared batch invocations, every one
+// answered correctly.
+func TestCoalescerBatches(t *testing.T) {
+	pred := &fakePred{class: 1, classes: 3}
+	reg := NewRegistry()
+	reg.Install("test", pred)
+	co := NewCoalescer(reg, CoalescerConfig{MaxBatch: 16, MaxLinger: 5 * time.Millisecond})
+	defer co.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec, err := co.Decide(context.Background(), testRow)
+			if err != nil {
+				t.Errorf("Decide: %v", err)
+				return
+			}
+			if dec.Action != dataset.ActRA {
+				t.Errorf("action = %v, want RA", dec.Action)
+			}
+			if len(dec.Proba) != 3 || dec.Proba[1] != 1 {
+				t.Errorf("proba = %v, want one-hot class 1", dec.Proba)
+			}
+			if dec.Model == nil || dec.Model.ID != 1 {
+				t.Errorf("model = %+v, want registry version 1", dec.Model)
+			}
+		}()
+	}
+	wg.Wait()
+	batches, samples, maxBatch := pred.stats()
+	if samples != n {
+		t.Fatalf("model saw %d samples, want %d", samples, n)
+	}
+	if batches >= n {
+		t.Errorf("no coalescing: %d invocations for %d requests", batches, n)
+	}
+	if maxBatch > 16 {
+		t.Errorf("batch of %d exceeds MaxBatch 16", maxBatch)
+	}
+}
+
+// TestCoalescerMatchesDirect: for a real forest, the coalesced path returns
+// exactly what per-request inference returns, row for row.
+func TestCoalescerMatchesDirect(t *testing.T) {
+	rf := fitTestForest(t)
+	direct := NewRegistry()
+	direct.Install("direct", rf)
+	dco := NewCoalescer(direct, CoalescerConfig{MaxBatch: 1})
+	defer dco.Close()
+	batched := NewRegistry()
+	batched.Install("batched", rf)
+	bco := NewCoalescer(batched, CoalescerConfig{MaxBatch: 8, MaxLinger: time.Millisecond})
+	defer bco.Close()
+
+	rows := testRows(64)
+	want := make([]Decision, len(rows))
+	for i, x := range rows {
+		var err error
+		want[i], err = dco.Decide(context.Background(), x)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	got := make([]Decision, len(rows))
+	errs := make([]error, len(rows))
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = bco.Decide(context.Background(), rows[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range rows {
+		if errs[i] != nil {
+			t.Fatalf("row %d: %v", i, errs[i])
+		}
+		if got[i].Action != want[i].Action {
+			t.Errorf("row %d: action %v vs direct %v", i, got[i].Action, want[i].Action)
+		}
+		for c := range want[i].Proba {
+			if got[i].Proba[c] != want[i].Proba[c] {
+				t.Errorf("row %d class %d: proba %v vs direct %v", i, c, got[i].Proba[c], want[i].Proba[c])
+			}
+		}
+	}
+}
+
+// TestCoalescerOverload fills the bounded queue behind a blocked model and
+// checks the next request sheds with ErrOverloaded while the queued ones
+// complete once the model unblocks.
+func TestCoalescerOverload(t *testing.T) {
+	gate := make(chan struct{})
+	pred := &fakePred{class: 0, classes: 3, gate: gate}
+	reg := NewRegistry()
+	reg.Install("test", pred)
+	co := NewCoalescer(reg, CoalescerConfig{MaxBatch: 2, MaxLinger: time.Microsecond, QueueDepth: 4})
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(gate) }) } // a closed gate unblocks every model call
+	defer func() {
+		release()
+		co.Close()
+	}()
+
+	// First requests occupy the dispatcher (blocked in the model) until the
+	// queue itself is full. Shed behavior is reached when an admission
+	// fails; keep launching until one does.
+	shedBefore := obsShed.Value()
+	var wg sync.WaitGroup
+	results := make(chan error, 32)
+	deadline := time.After(5 * time.Second)
+	for launched := 0; ; launched++ {
+		err := func() error {
+			errc := make(chan error, 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := co.Decide(context.Background(), testRow)
+				errc <- err
+				results <- err
+			}()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(20 * time.Millisecond):
+				return nil // still queued or in the model: keep going
+			}
+		}()
+		if errors.Is(err, ErrOverloaded) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("queue never overflowed")
+		default:
+		}
+		if launched > 20 {
+			t.Fatal("queue deeper than configured: no shed after 20 requests")
+		}
+	}
+	if obsShed.Value() == shedBefore {
+		t.Error("shed counter did not advance")
+	}
+
+	// Unblock the model; every admitted request must complete successfully.
+	release()
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil && !errors.Is(err, ErrOverloaded) {
+			t.Errorf("admitted request failed: %v", err)
+		}
+	}
+}
+
+// TestCoalescerDeadline: a request whose context expires while the model is
+// busy returns context.DeadlineExceeded and advances the canceled counter.
+func TestCoalescerDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	pred := &fakePred{class: 0, classes: 3, gate: gate}
+	reg := NewRegistry()
+	reg.Install("test", pred)
+	co := NewCoalescer(reg, CoalescerConfig{MaxBatch: 2, MaxLinger: time.Microsecond, QueueDepth: 8})
+	defer func() {
+		close(gate)
+		co.Close()
+	}()
+
+	canceledBefore := obsCanceled.Value()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := co.Decide(ctx, testRow)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if obsCanceled.Value() == canceledBefore {
+		t.Error("canceled counter did not advance")
+	}
+}
+
+// TestCoalescerDrain: Close answers everything already admitted and rejects
+// later arrivals with ErrDraining.
+func TestCoalescerDrain(t *testing.T) {
+	pred := &fakePred{class: 2, classes: 3}
+	reg := NewRegistry()
+	reg.Install("test", pred)
+	co := NewCoalescer(reg, CoalescerConfig{MaxBatch: 4, MaxLinger: 500 * time.Microsecond})
+
+	const n = 32
+	var ok atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := co.Decide(context.Background(), testRow)
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, ErrDraining):
+			default:
+				t.Errorf("Decide: %v", err)
+			}
+		}()
+	}
+	co.Close()
+	wg.Wait()
+	if _, err := co.Decide(context.Background(), testRow); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-Close Decide err = %v, want ErrDraining", err)
+	}
+	_, samples, _ := pred.stats()
+	if int(ok.Load()) != samples {
+		t.Errorf("%d requests succeeded but the model answered %d", ok.Load(), samples)
+	}
+}
+
+// TestHotSwapUnderLoad is the zero-dropped-requests guarantee: with
+// decisions in full flight, concurrent swaps and rollbacks never produce a
+// failed request, and every answer is internally consistent with the model
+// version that produced it (a batch is never split across versions).
+func TestHotSwapUnderLoad(t *testing.T) {
+	reg := NewRegistry()
+	predA := &fakePred{class: 0, classes: 3}
+	predB := &fakePred{class: 1, classes: 3}
+	reg.Install("A", predA)
+	co := NewCoalescer(reg, CoalescerConfig{MaxBatch: 8, MaxLinger: 100 * time.Microsecond})
+	defer co.Close()
+
+	stop := make(chan struct{})
+	var swaps sync.WaitGroup
+	swaps.Add(1)
+	go func() {
+		defer swaps.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%3 == 2 {
+				if _, err := reg.Rollback(); err != nil {
+					t.Errorf("rollback: %v", err)
+				}
+			} else if i%2 == 0 {
+				reg.Install("B", predB)
+			} else {
+				reg.Install("A", predA)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				dec, err := co.Decide(context.Background(), testRow)
+				if err != nil {
+					t.Errorf("request dropped during hot-swap: %v", err)
+					return
+				}
+				// Consistency: the answer must match the model that the
+				// decision reports, proving the batch used one snapshot.
+				wantClass := 0
+				if dec.Model.Predictor() == Predictor(predB) {
+					wantClass = 1
+				}
+				if int(dec.Action) != wantClass {
+					t.Errorf("action %d from model %q: batch split across versions", dec.Action, dec.Model.Source)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	swaps.Wait()
+}
+
+// fitTestForest trains a small real forest on synthetic 7-feature data.
+func fitTestForest(t *testing.T) *ml.RandomForest {
+	t.Helper()
+	d := synthData(300, 7)
+	rf := &ml.RandomForest{NumTrees: 12, MaxDepth: 6, Seed: 7}
+	if err := rf.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	return rf
+}
+
+// synthData builds a 3-class dataset whose label is a threshold on the
+// first feature, with NumFeatures columns to satisfy the HTTP layer.
+func synthData(n int, features int) *ml.Dataset {
+	d := &ml.Dataset{}
+	for i := 0; i < n; i++ {
+		x := make([]float64, features)
+		for j := range x {
+			// Deterministic pseudo-data: a fixed recurrence, no RNG needed.
+			x[j] = float64((i*31+j*17)%97) / 97
+		}
+		label := 0
+		switch {
+		case x[0] > 0.66:
+			label = 2
+		case x[0] > 0.33:
+			label = 1
+		}
+		d.Append(x, label)
+	}
+	return d
+}
+
+// testRows returns n deterministic 7-feature rows.
+func testRows(n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		x := make([]float64, 7)
+		for j := range x {
+			x[j] = float64((i*13+j*29)%89) / 89
+		}
+		rows[i] = x
+	}
+	return rows
+}

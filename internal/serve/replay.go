@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"math/rand"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+)
+
+// Replay is a deterministic feature-vector source for load generation: the
+// feature rows of a measurement campaign in a seed-shuffled order. Unlike
+// the rest of the serving layer, this file is inside the reproducibility
+// boundary — the determinism analyzer holds replay*.go to the full
+// discipline (no wall clock), so a fixed (campaign, seed) pair always
+// yields the same request stream and load-test results are comparable
+// across runs.
+type Replay struct {
+	rows   [][]float64
+	labels []dataset.Action
+}
+
+// NewReplay snapshots c's feature rows in a seed-shuffled order. The rows
+// are copies: the replay stream stays valid however the campaign is used
+// afterwards, and callers may hand rows to concurrent workers freely (they
+// must not mutate them).
+func NewReplay(c *dataset.Campaign, seed int64) *Replay {
+	r := &Replay{
+		rows:   make([][]float64, 0, len(c.Entries)),
+		labels: make([]dataset.Action, 0, len(c.Entries)),
+	}
+	for _, e := range c.Entries {
+		r.rows = append(r.rows, e.FeatureSlice())
+		r.labels = append(r.labels, e.Label)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(r.rows), func(i, j int) {
+		r.rows[i], r.rows[j] = r.rows[j], r.rows[i]
+		r.labels[i], r.labels[j] = r.labels[j], r.labels[i]
+	})
+	return r
+}
+
+// Len returns the number of distinct rows in the stream.
+func (r *Replay) Len() int { return len(r.rows) }
+
+// At returns request i's feature row; the stream wraps around, so any
+// non-negative i is valid. Workers typically stride (worker w of W issues
+// requests w, w+W, w+2W, ...) so concurrent streams stay disjoint and
+// deterministic.
+func (r *Replay) At(i int) []float64 { return r.rows[i%len(r.rows)] }
+
+// LabelAt returns the ground-truth action of request i's row, letting load
+// tests double as an online accuracy check.
+func (r *Replay) LabelAt(i int) dataset.Action { return r.labels[i%len(r.labels)] }

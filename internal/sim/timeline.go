@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"time"
 
 	"github.com/libra-wlan/libra/internal/channel"
@@ -65,9 +66,22 @@ func tableAt(snap *channel.Snapshot, txBeam, rxBeam int) thTable {
 // RunTimeline simulates one policy over a multi-impairment timeline. clf is
 // consulted only by the LiBRA policy.
 func RunTimeline(tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) TimelineResult {
+	res, err := RunTimelineContext(context.Background(), tl, p, pol, clf)
+	if err != nil {
+		// Unreachable: Background is never canceled.
+		panic(err)
+	}
+	return res
+}
+
+// RunTimelineContext is RunTimeline with cooperative cancellation at segment
+// boundaries: a canceled ctx abandons the remaining segments and returns
+// ctx's error with a zero result. A run that completes is unaffected by ctx
+// — the result depends only on the timeline, parameters and classifier.
+func RunTimelineContext(ctx context.Context, tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) (TimelineResult, error) {
 	var res TimelineResult
 	if len(tl.Segments) == 0 {
-		return res
+		return res, nil
 	}
 	cfg := p.Config()
 
@@ -92,6 +106,9 @@ func RunTimeline(tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) 
 	tr := p.Trace
 
 	for si, seg := range tl.Segments {
+		if err := ctx.Err(); err != nil {
+			return TimelineResult{}, err
+		}
 		snap := seg.Snap
 		remaining := seg.Dur
 		cur := tableAt(snap, st.txBeam, st.rxBeam)
@@ -146,7 +163,7 @@ func RunTimeline(tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) 
 		st.prevMeas = snap.Measure(st.txBeam, st.rxBeam)
 		st.prevValid = true
 	}
-	return res
+	return res, nil
 }
 
 // bestWorking returns the highest-throughput MCS of a table (falling back to

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -137,5 +139,33 @@ func TestMotionTimelineDeliversData(t *testing.T) {
 	avg := res.Bytes * 8 / tl.Duration().Seconds()
 	if avg < 100e6 {
 		t.Errorf("motion average throughput = %v Mbps", avg/1e6)
+	}
+}
+
+// TestRunTimelineContext covers the segment-boundary cancellation contract:
+// a pre-canceled context returns the context's error and a zero result,
+// while a background context matches the plain entry point exactly.
+func TestRunTimelineContext(t *testing.T) {
+	pools := testPools(t)
+	rng := rand.New(rand.NewSource(3))
+	tl := pools.RandomTimeline(trace.Mixed, rng)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunTimelineContext(ctx, tl, stdParams(), BAFirst, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Breaks != 0 || res.Bytes != 0 || len(res.Rate) != 0 {
+		t.Fatalf("canceled run returned a partial result: %+v", res)
+	}
+
+	want := RunTimeline(tl, stdParams(), BAFirst, nil)
+	got, err := RunTimelineContext(context.Background(), tl, stdParams(), BAFirst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bytes != want.Bytes || got.Breaks != want.Breaks || got.TotalRecoveryDelay != want.TotalRecoveryDelay {
+		t.Errorf("context run %+v differs from plain %+v", got, want)
 	}
 }

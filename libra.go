@@ -22,6 +22,9 @@
 package libra
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"math/rand"
 
 	"github.com/libra-wlan/libra/internal/adapt"
@@ -134,6 +137,20 @@ func GenerateMainDataset(seed int64) *Campaign { return dataset.GenerateMain(see
 // (Table 2: 228 labeled cases plus NA augmentation).
 func GenerateTestDataset(seed int64) *Campaign { return dataset.GenerateTest(seed) }
 
+// GenerateMainDatasetContext is GenerateMainDataset with cooperative
+// cancellation at campaign-shard boundaries: a canceled ctx stops the
+// parallel spec fan-out and returns ctx's error. A completed campaign is
+// byte-identical to GenerateMainDataset's for the same seed.
+func GenerateMainDatasetContext(ctx context.Context, seed int64) (*Campaign, error) {
+	return dataset.GenerateMainContext(ctx, seed)
+}
+
+// GenerateTestDatasetContext is GenerateTestDataset with cooperative
+// cancellation at campaign-shard boundaries; see GenerateMainDatasetContext.
+func GenerateTestDatasetContext(ctx context.Context, seed int64) (*Campaign, error) {
+	return dataset.GenerateTestContext(ctx, seed)
+}
+
 // LiBRA core.
 type (
 	// Config holds LiBRA's protocol parameters (§8.1).
@@ -192,6 +209,14 @@ func RunTimeline(tl *Timeline, p Params, pol Policy, clf Classifier) TimelineRes
 	return sim.RunTimeline(tl, p, pol, clf)
 }
 
+// RunTimelineContext is RunTimeline with cooperative cancellation at
+// timeline-segment boundaries: a canceled ctx abandons the remaining
+// segments and returns ctx's error. A completed run matches RunTimeline's
+// result exactly.
+func RunTimelineContext(ctx context.Context, tl *Timeline, p Params, pol Policy, clf Classifier) (TimelineResult, error) {
+	return sim.RunTimelineContext(ctx, tl, p, pol, clf)
+}
+
 // NewScenarioPools builds the §8.3 timeline state pools.
 func NewScenarioPools(seed int64) *ScenarioPools { return trace.NewPools(seed) }
 
@@ -220,13 +245,27 @@ type (
 func NewSuite(seed int64) *Suite { return experiments.NewSuite(seed) }
 
 // Model persistence: the §7 deployment story is offline training by the
-// vendor, then shipping the fitted model.
-var (
-	// SaveClassifier writes a trained classifier (random forest) to w.
-	SaveClassifier = core.SaveClassifier
-	// LoadClassifier reads a classifier written by SaveClassifier.
-	LoadClassifier = core.LoadClassifier
-)
+// vendor, then shipping the fitted model. The on-disk format is versioned
+// and serialization-stable — a one-line "libra-model v2 random-forest"
+// header followed by the model body; saving a loaded model reproduces the
+// input bytes, and the legacy headerless v1 format still loads. libra-train
+// -o writes this format and libra-serve -model consumes it.
+
+// SaveClassifier writes a trained classifier (random forest) to w in the
+// versioned libra-model format.
+func SaveClassifier(c Classifier, w io.Writer) error {
+	mc, ok := c.(*core.MLClassifier)
+	if !ok {
+		return fmt.Errorf("libra: only trained ML classifiers serialize (got %s)", c.Name())
+	}
+	return core.SaveClassifier(mc, w)
+}
+
+// LoadClassifier reads a classifier written by SaveClassifier (either the
+// current headered format or the legacy bare-JSON v1 format).
+func LoadClassifier(r io.Reader) (Classifier, error) {
+	return core.LoadClassifier(r)
+}
 
 // Extensions beyond the paper's evaluation.
 type (
