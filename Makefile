@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench check profile serve-bench
+.PHONY: build test race vet lint bench check profile serve-bench shard-bench
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,18 @@ serve-bench: lint
 	$(GO) run ./cmd/libra-loadgen -c 64 -n 40000 -warmup 4000 \
 		-trees 2400 -depth 20 -max-linger 100us \
 		-json BENCH_$$(date +%F)_serve.json
+
+# shard-bench records a dated BENCH_<date>_shard.json artifact of the
+# fleet-scale decide path: a quantized 2400x20 forest behind a 2-shard
+# consistent-hash router, driven over the pipelined binary wire protocol.
+# The artifact embeds the git SHA, the fixed seed, the quantized/float64
+# class-parity result, and the speedup over the batched-HTTP baseline.
+# Like bench, a lint-dirty tree refuses to snapshot.
+shard-bench: lint
+	$(GO) run ./cmd/libra-loadgen -mode shard -c 32 -n 40000 -warmup 4000 \
+		-trees 2400 -depth 20 -max-batch 512 -max-linger 100us \
+		-shards 2 -pipeline 128 -runs 5 \
+		-json BENCH_$$(date +%F)_shard.json
 
 # check is the pre-merge gate: static analysis (vet + libra-lint) plus the
 # race-enabled suite.

@@ -6,12 +6,20 @@
 //
 // Usage:
 //
-//	libra-serve [-addr :8060] [-model FILE] [-max-batch N] [-max-linger D]
-//	            [-queue-depth N] [-timeout D]
+//	libra-serve [-addr :8060] [-binary-addr :8061] [-model FILE]
+//	            [-model-format float64|quant32] [-shards N]
+//	            [-max-batch N] [-max-linger D] [-queue-depth N] [-timeout D]
+//
+// The decide plane is sharded: -shards coalescers behind a consistent-hash
+// router keyed on link ID, all sharing one registry (a hot-swap reaches
+// every shard atomically). -binary-addr additionally serves the pipelined
+// binary decide protocol (DESIGN.md §9) on the same shards; HTTP stays up
+// as the control plane. -model-format quant32 compiles loaded forests to
+// the quantized flat representation.
 //
 // Without -model the server starts not-ready (/readyz 503) and waits for
-// the first POST /models. SIGINT/SIGTERM drain gracefully: the listener
-// stops, in-flight decisions complete, then the process exits 0.
+// the first POST /models. SIGINT/SIGTERM drain gracefully: the listeners
+// stop, in-flight decisions complete, then the process exits 0.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,7 +43,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("libra-serve: ")
 	addr := flag.String("addr", ":8060", "HTTP listen address")
+	binaryAddr := flag.String("binary-addr", "", "binary decide protocol listen address (empty disables)")
 	model := flag.String("model", "", "libra-model artifact to serve at startup (libra-train -o)")
+	modelFormat := flag.String("model-format", serve.FormatFloat64,
+		"serving representation for loaded models: float64 or quant32")
+	shards := flag.Int("shards", 1, "coalescer shards behind the consistent-hash router")
 	maxBatch := flag.Int("max-batch", 64, "largest coalesced model invocation (1 disables coalescing)")
 	maxLinger := flag.Duration("max-linger", 200*time.Microsecond,
 		"how long the first request of a batch waits for company")
@@ -48,6 +61,9 @@ func main() {
 	}
 
 	reg := serve.NewRegistry()
+	if err := reg.SetFormat(*modelFormat); err != nil {
+		log.Fatal(err)
+	}
 	if *model != "" {
 		f, err := os.Open(*model)
 		if err != nil {
@@ -69,17 +85,32 @@ func main() {
 			MaxLinger:  *maxLinger,
 			QueueDepth: *queueDepth,
 		},
+		Shards:         *shards,
 		DefaultTimeout: *timeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
+	var binSrv *serve.BinaryServer
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		log.Printf("listening on %s (%d shards)", *addr, *shards)
 		errc <- httpSrv.ListenAndServe()
 	}()
+	if *binaryAddr != "" {
+		ln, err := net.Listen("tcp", *binaryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		binSrv = serve.NewBinaryServer(s.Router(), 0)
+		go func() {
+			log.Printf("binary protocol on %s", *binaryAddr)
+			if err := binSrv.Serve(ln); err != nil {
+				log.Printf("binary listener: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -95,6 +126,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if binSrv != nil {
+		binSrv.Close()
 	}
 	s.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	libra-train [-seed N] [-reps N] [-o FILE] [-fit-only] [-trees N]
-//	            [-depth N] [-metrics-out FILE] [-trace-out FILE]
+//	libra-train [-seed N] [-reps N] [-o FILE] [-fit-only] [-verify-quant]
+//	            [-trees N] [-depth N] [-metrics-out FILE] [-trace-out FILE]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //
 // -o writes the trained 3-class model in the versioned libra-model format
 // that libra-serve -model consumes. -fit-only skips the study and only
 // trains and writes the model — the fast path for producing a serving
 // artifact. -trees/-depth size the saved forest (the study always uses the
-// paper's 80x12 configuration).
+// paper's 80x12 configuration). -verify-quant compiles the trained forest
+// to the quantized serving representation (ml.QuantForest, what libra-serve
+// -model-format quant32 deploys) and proves class parity against the float64
+// flat arrays on the float32-narrowed test campaign — the same wire-exactness
+// gate the shard bench enforces.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"os"
 
 	"github.com/libra-wlan/libra/internal/core"
+	"github.com/libra-wlan/libra/internal/dataset"
 	"github.com/libra-wlan/libra/internal/experiments"
 	"github.com/libra-wlan/libra/internal/ml"
 	"github.com/libra-wlan/libra/internal/obs"
@@ -35,7 +40,8 @@ func main() {
 	reps := flag.Int("reps", 10, "cross-validation repetitions (paper: 500)")
 	out := flag.String("o", "", "write the trained 3-class model (libra-model format) to this file")
 	save := flag.String("save", "", "alias for -o (kept for compatibility)")
-	fitOnly := flag.Bool("fit-only", false, "skip the CV study; only train and write the model (requires -o)")
+	fitOnly := flag.Bool("fit-only", false, "skip the CV study; only train and write/verify the model (needs -o or -verify-quant)")
+	verifyQuant := flag.Bool("verify-quant", false, "quantize the trained forest and report class parity vs the float64 arrays on the test campaign")
 	trees := flag.Int("trees", 80, "forest size of the saved model")
 	depth := flag.Int("depth", 12, "maximum tree depth of the saved model")
 	oc := obs.RegisterCLI(flag.CommandLine)
@@ -43,8 +49,8 @@ func main() {
 	if *out == "" {
 		*out = *save
 	}
-	if *fitOnly && *out == "" {
-		log.Fatal("-fit-only needs -o FILE to write the model to")
+	if *fitOnly && *out == "" && !*verifyQuant {
+		log.Fatal("-fit-only needs -o FILE (or -verify-quant) to have something to do")
 	}
 	if err := oc.Start(); err != nil {
 		log.Fatal(err)
@@ -79,10 +85,21 @@ func main() {
 		fmt.Println(cr)
 	}
 
-	if *out != "" {
+	if *out != "" || *verifyQuant {
 		clf, err := trainModel(s, *seed, *trees, *depth)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *verifyQuant {
+			if err := verifyQuantParity(clf, *seed); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *out == "" {
+			if err := oc.Stop(); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
 		f, err := os.Create(*out)
 		if err != nil {
@@ -116,4 +133,43 @@ func trainModel(s *experiments.Suite, seed int64, trees, depth int) (*core.MLCla
 		return nil, err
 	}
 	return &core.MLClassifier{Model: rf}, nil
+}
+
+// verifyQuantParity compiles clf's forest to the quantized serving form and
+// demands bit-identical predicted classes on the float32-narrowed test
+// campaign — the exactness contract the quant32 serving format ships under.
+// Any mismatch is a fatal error: the artifact must not be deployed quantized.
+func verifyQuantParity(clf *core.MLClassifier, seed int64) error {
+	rf, ok := clf.Model.(*ml.RandomForest)
+	if !ok {
+		return fmt.Errorf("-verify-quant: model family %s has no quantized form", clf.Name())
+	}
+	q, err := rf.Quantize()
+	if err != nil {
+		return err
+	}
+	camp := dataset.GenerateTest(seed)
+	rows := make([][]float64, len(camp.Entries))
+	for i := range camp.Entries {
+		feats := camp.Entries[i].Features
+		x := make([]float64, len(feats))
+		for j, v := range feats {
+			x[j] = float64(float32(v)) // what the binary wire delivers
+		}
+		rows[i] = x
+	}
+	base := rf.PredictBatch(rows, nil)
+	got := q.PredictBatch(rows, nil)
+	mismatches := 0
+	for i := range base {
+		if base[i] != got[i] {
+			mismatches++
+		}
+	}
+	if mismatches != 0 {
+		return fmt.Errorf("-verify-quant: %d of %d rows diverge from the float64 arrays", mismatches, len(base))
+	}
+	fmt.Printf("quantized forest verified: %d test-campaign rows bit-identical to the float64 arrays (%d nodes, %d trees)\n",
+		len(base), q.NumNodes(), q.NumTrees())
+	return nil
 }

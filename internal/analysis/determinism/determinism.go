@@ -27,7 +27,9 @@ var Analyzer = &analysis.Analyzer{
 		"sim-time tracer (trace*.go), whose output must stay reproducible; " +
 		"internal/serve gets the same per-file treatment: the online serving " +
 		"layer (latency deadlines, batch lingers) legitimately reads the wall " +
-		"clock, but its deterministic replay sources (replay*.go) do not",
+		"clock, but its deterministic sources — the replay request stream " +
+		"(replay*.go), the consistent-hash ring (ring*.go), and the binary " +
+		"wire codec (wire*.go) — do not",
 	Run: run,
 }
 
@@ -88,9 +90,14 @@ func exemptPackage(pkg *types.Package) bool {
 //     package's sim-time tracer lives in trace*.go and stays banned, because
 //     trace output promises byte-identical bytes for any worker count.
 //   - internal/serve, the online inference service: request deadlines and
-//     batch lingers are wall-clock phenomena. Its deterministic replay
-//     sources live in replay*.go and stay banned, because a fixed-seed
-//     request stream must be reproducible for load results to be comparable.
+//     batch lingers are wall-clock phenomena. Its deterministic sources stay
+//     banned per file: the fixed-seed replay request stream (replay*.go)
+//     must be reproducible for load results to be comparable, shard routing
+//     (ring*.go) must assign every link the same shard on every process for
+//     per-shard metrics to be diffable, and the wire codec (wire*.go) is
+//     pure frame arithmetic whose bytes must not depend on when they were
+//     encoded. The socket loops (binary.go) and shard router (shard.go)
+//     remain wall-clock territory.
 func wallClockFile(pass *analysis.Pass, pos token.Pos) bool {
 	path := pass.Pkg.Path()
 	file := filepath.Base(pass.Fset.Position(pos).Filename)
@@ -98,7 +105,9 @@ func wallClockFile(pass *analysis.Pass, pos token.Pos) bool {
 	case path == "obs" || strings.HasSuffix(path, "/obs"):
 		return !strings.HasPrefix(file, "trace")
 	case path == "serve" || strings.HasSuffix(path, "/serve"):
-		return !strings.HasPrefix(file, "replay")
+		return !strings.HasPrefix(file, "replay") &&
+			!strings.HasPrefix(file, "ring") &&
+			!strings.HasPrefix(file, "wire")
 	}
 	return false
 }

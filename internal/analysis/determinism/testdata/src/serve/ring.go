@@ -1,0 +1,13 @@
+package serve
+
+import "time"
+
+// badRingSeed pins the ring side of the serve contract: ring*.go holds the
+// consistent-hash shard router's placement math, which must assign every
+// link the same shard in every process, so wall-clock reads are flagged
+// even though the surrounding package is serve.
+func badRingSeed() int64 {
+	t := time.Now()   // want `time\.Now makes output wall-clock-dependent`
+	_ = time.Since(t) // want `time\.Since makes output wall-clock-dependent`
+	return t.UnixNano()
+}

@@ -1,8 +1,9 @@
 // Package serve mirrors internal/serve's file layout so the determinism
 // tests can pin the analyzer's carve-out: wall-clock reads in the serving
 // layer's engine files are sanctioned, while the same reads in its
-// deterministic replay sources (replay*.go) stay flagged (see replay.go in
-// this fixture).
+// deterministic sources — the replay request stream (replay*.go), the
+// consistent-hash ring (ring*.go), and the binary wire codec (wire*.go) —
+// stay flagged (see the like-named fixtures beside this file).
 package serve
 
 import "time"

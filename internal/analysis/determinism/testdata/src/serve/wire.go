@@ -1,0 +1,13 @@
+package serve
+
+import "time"
+
+// badWireStamp pins the codec side of the serve contract: wire*.go is the
+// binary protocol's pure frame arithmetic — encoding the same request must
+// produce the same bytes on every host — so wall-clock reads are flagged
+// even though the surrounding package is serve.
+func badWireStamp() int64 {
+	t := time.Now()   // want `time\.Now makes output wall-clock-dependent`
+	_ = time.Since(t) // want `time\.Since makes output wall-clock-dependent`
+	return t.UnixNano()
+}

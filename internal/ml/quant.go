@@ -1,0 +1,558 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Quantized flat forests. The float64 flat arrays (flat.go) make one tree
+// cache-resident; at fleet scale the whole *ensemble* must stream through a
+// small cache per batch, so the serving representation is quantized and
+// packed further:
+//
+//   - one contiguous 16-byte node array for the entire forest (float32
+//     threshold, int16 feature, int16 leaf class, two int32 children —
+//     4 nodes per cache line, ~2.6x denser than the float64 layout);
+//   - leaves are absorbing (threshold +Inf, children pointing at
+//     themselves), so a group of samples can walk a tree in lockstep with
+//     no per-sample branch divergence;
+//   - subtrees whose every leaf agrees on a class collapse to a single
+//     leaf at compile time — the tree's class function (and so every vote)
+//     is unchanged, the average walk just gets shorter;
+//   - the batch kernel walks 8 samples per tree in lockstep over a
+//     transposed per-group key block (converted once per batch, reused
+//     across all trees), overlapping the dependent node loads that
+//     serialize a one-sample-at-a-time walk; features and thresholds are
+//     encoded as order-preserving uint32 sort keys so the split compare is
+//     branch-free integer mask arithmetic — no float-compare mispredicts;
+//   - the class-only path retires samples early once the leading class has
+//     more votes than the remaining trees could overturn — provably the
+//     same argmax, fewer tree walks.
+//
+// Thresholds quantize to the largest float32 not exceeding the float64
+// split value, so for float32 inputs x the predicate x <= t32 is exactly
+// equivalent to float64(x) <= t64: the quantized forest classifies float32
+// feature vectors bit-identically to the float64 flat arrays. Serving
+// verifies this on the fixed-seed campaign replay (loadgen's parity check
+// and libra-train -verify-quant).
+
+// qNode is one node of a quantized forest. The float32 threshold is stored
+// as its monotonic uint32 sort key (sortKey32), so the walk compares
+// integers and selects the child with mask arithmetic — no float compare,
+// no branch, no mispredict. Leaves carry class >= 0 and absorb: both
+// children point at the node itself, so a walker that reaches a leaf stays
+// there for any further lockstep steps.
+type qNode struct {
+	key     uint32 // sortKey32 of the quantized float32 threshold
+	feature int16
+	class   int16 // leaf class, or -1 for split nodes
+	left    int32
+	right   int32
+}
+
+// QuantForest is a quantized, inference-only compilation of a fitted
+// RandomForest. It is immutable and safe for concurrent use.
+type QuantForest struct {
+	nodes []qNode
+	roots []int32
+	// numClasses is the label-space width (Proba rows).
+	numClasses int
+	// vote is the vote-buffer width: max(numClasses, largest leaf class+1),
+	// mirroring RandomForest.voteClasses so argmax tie-breaks agree.
+	vote int
+}
+
+// quantThreshold returns the largest float32 whose float64 widening does
+// not exceed t, making (x32 <= q) exactly equivalent to (float64(x32) <= t)
+// for every float32 x32.
+func quantThreshold(t float64) float32 {
+	f := float32(t)
+	if float64(f) > t {
+		f = math.Nextafter32(f, float32(math.Inf(-1)))
+	}
+	return f
+}
+
+// sortKey32 maps float32 to uint32 preserving numeric order: unsigned key
+// comparison is exactly float comparison. -0 is canonicalized to +0 before
+// mapping so x <= t keeps its IEEE "equal zeros" semantics.
+func sortKey32(f float32) uint32 {
+	if f != f {
+		// NaN: above every threshold key, so comparisons send NaN features
+		// right — the same child an IEEE x <= t (false for NaN) selects.
+		return math.MaxUint32
+	}
+	if f == 0 {
+		f = 0
+	}
+	b := math.Float32bits(f)
+	if b>>31 != 0 {
+		return ^b
+	}
+	return b | 0x80000000
+}
+
+// Quantize compiles the fitted forest into its quantized serving form.
+// Trees whose pointer root is missing (a state only reachable through
+// hand-built models) compile to a single class-0 leaf, matching the
+// pointer walk's nil-root answer.
+func (f *RandomForest) Quantize() (*QuantForest, error) {
+	if len(f.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	q := &QuantForest{
+		roots:      make([]int32, 0, len(f.trees)),
+		numClasses: f.numClasses,
+		vote:       f.voteClasses(),
+	}
+	total := 0
+	for _, t := range f.trees {
+		if n := countNodes(t.root); n > 0 {
+			total += n
+		} else {
+			total++
+		}
+	}
+	if total > math.MaxInt32 {
+		return nil, fmt.Errorf("ml: forest too large to quantize (%d nodes)", total)
+	}
+	q.nodes = make([]qNode, 0, total)
+	for _, t := range f.trees {
+		q.roots = append(q.roots, int32(len(q.nodes)))
+		if t.root == nil {
+			q.addLeaf(0)
+			continue
+		}
+		q.add(t.root)
+	}
+	return q, nil
+}
+
+// addLeaf appends an absorbing leaf and returns its index.
+func (q *QuantForest) addLeaf(class int) int32 {
+	idx := int32(len(q.nodes))
+	q.nodes = append(q.nodes, qNode{
+		key:     math.MaxUint32,
+		feature: 0,
+		class:   int16(class),
+		left:    idx,
+		right:   idx,
+	})
+	return idx
+}
+
+// uniformClass returns the one class every leaf below n carries, or -1
+// when the subtree can still go either way.
+func uniformClass(n *treeNode) int {
+	if n.isLeaf {
+		return n.class
+	}
+	c := uniformClass(n.left)
+	if c < 0 || uniformClass(n.right) != c {
+		return -1
+	}
+	return c
+}
+
+// add appends n's subtree in preorder and returns its index. Subtrees whose
+// every leaf agrees on a class collapse to a single absorbing leaf: the
+// tree's class function is unchanged (whatever path the walk would have
+// taken below ends in that class), so votes — and therefore predictions —
+// stay bit-identical while the average walk gets shorter.
+func (q *QuantForest) add(n *treeNode) int32 {
+	if n.isLeaf {
+		return q.addLeaf(n.class)
+	}
+	if c := uniformClass(n); c >= 0 {
+		return q.addLeaf(c)
+	}
+	idx := int32(len(q.nodes))
+	q.nodes = append(q.nodes, qNode{
+		key:     sortKey32(quantThreshold(n.threshold)),
+		feature: int16(n.feature),
+		class:   -1,
+	})
+	l := q.add(n.left)
+	r := q.add(n.right)
+	q.nodes[idx].left = l
+	q.nodes[idx].right = r
+	return idx
+}
+
+// Name implements the serving Predictor contract.
+func (q *QuantForest) Name() string { return "random-forest-q32" }
+
+// NumClasses returns the label-space width.
+func (q *QuantForest) NumClasses() int { return q.numClasses }
+
+// NumTrees returns the ensemble size.
+func (q *QuantForest) NumTrees() int { return len(q.roots) }
+
+// NumNodes returns the total node count across all trees.
+func (q *QuantForest) NumNodes() int { return len(q.nodes) }
+
+// predictTree walks one tree for one key-encoded row.
+func (q *QuantForest) predictTree(root int32, x []uint32) int {
+	nodes := q.nodes
+	i := root
+	for {
+		n := &nodes[i]
+		if n.class >= 0 {
+			return int(n.class)
+		}
+		m := int32((int64(n.key) - int64(x[n.feature])) >> 63)
+		i = n.left ^ ((n.left ^ n.right) & m)
+	}
+}
+
+// qScratch holds reusable conversion and vote buffers for the float64
+// entry points.
+type qScratch struct {
+	k     []uint32
+	votes []int32
+	idx   []int32
+}
+
+var qScratchPool = sync.Pool{New: func() any { return new(qScratch) }}
+
+// convert packs X into s.k row-major with the given stride, narrowing each
+// value to float32 and encoding it as its comparison sort key — the shared
+// feature matrix every tree walks.
+func (s *qScratch) convert(X [][]float64, stride int) []uint32 {
+	need := len(X) * stride
+	if cap(s.k) < need {
+		s.k = make([]uint32, need)
+	}
+	s.k = s.k[:need]
+	for i, row := range X {
+		dst := s.k[i*stride : i*stride+stride]
+		for j, v := range row {
+			dst[j] = sortKey32(float32(v))
+		}
+	}
+	return s.k
+}
+
+// ConvertRow32 encodes one float32 feature vector into dst as comparison
+// sort keys (the representation ClassifyKeys32 walks). dst must be
+// len(x) long.
+func ConvertRow32(x []float32, dst []uint32) {
+	for j, v := range x {
+		dst[j] = sortKey32(v)
+	}
+}
+
+// Predict classifies one float64 row (features are narrowed to float32, as
+// on the binary wire).
+func (q *QuantForest) Predict(x []float64) int {
+	var buf [16]uint32
+	xs := buf[:0]
+	if len(x) <= len(buf) {
+		xs = buf[:len(x)]
+	} else {
+		xs = make([]uint32, len(x))
+	}
+	for i, v := range x {
+		xs[i] = sortKey32(float32(v))
+	}
+	var vbuf [16]int32
+	votes := vbuf[:0]
+	if q.vote <= len(vbuf) {
+		votes = vbuf[:q.vote]
+		for i := range votes {
+			votes[i] = 0
+		}
+	} else {
+		votes = make([]int32, q.vote)
+	}
+	for _, root := range q.roots {
+		votes[q.predictTree(root, xs)]++
+	}
+	best, bestN := 0, int32(-1)
+	for c, n := range votes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// Proba returns the per-class vote distribution for one row (numClasses
+// wide; leaf classes beyond it are dropped, matching RandomForest.Proba).
+func (q *QuantForest) Proba(x []float64) []float64 {
+	out := make([]float64, q.numClasses)
+	s := qScratchPool.Get().(*qScratch)
+	defer qScratchPool.Put(s)
+	stride := len(x)
+	if stride == 0 {
+		return out
+	}
+	xs := s.convert([][]float64{x}, stride)
+	for _, root := range q.roots {
+		c := q.predictTree(root, xs[:stride])
+		if c < q.numClasses {
+			out[c]++
+		}
+	}
+	nt := float64(len(q.roots))
+	for i := range out {
+		out[i] /= nt
+	}
+	return out
+}
+
+// PredictBatch classifies every row of X into out with the early-exit
+// class kernel; answers match RandomForest.PredictBatch bit for bit on
+// float32-representable inputs.
+func (q *QuantForest) PredictBatch(X [][]float64, out []int) []int {
+	out = resizeInts(out, len(X))
+	if len(X) == 0 {
+		return out
+	}
+	s := qScratchPool.Get().(*qScratch)
+	defer qScratchPool.Put(s)
+	stride := len(X[0])
+	xs := s.convert(X, stride)
+	q.ClassifyKeys32(xs, stride, len(X), out, s)
+	return out
+}
+
+// PredictProbaBatch returns per-class vote distributions for every row of X
+// as a row-major len(X)*NumClasses() slice. Votes are exact (no early
+// exit): row s equals Proba(X[s]).
+func (q *QuantForest) PredictProbaBatch(X [][]float64, out []float64) []float64 {
+	nc := q.numClasses
+	want := len(X) * nc
+	if cap(out) < want {
+		out = make([]float64, want)
+	} else {
+		out = out[:want]
+	}
+	if want == 0 {
+		return out
+	}
+	s := qScratchPool.Get().(*qScratch)
+	defer qScratchPool.Put(s)
+	stride := len(X[0])
+	xs := s.convert(X, stride)
+	vc := q.vote
+	// One extra row: the group walker parks its padding lanes' votes there.
+	votes := s.grow(len(X)*vc + vc)
+	q.voteTrees(xs, stride, nil, len(X), votes, vc, 0, len(q.roots))
+	nt := float64(len(q.roots))
+	for i := 0; i < len(X); i++ {
+		row := votes[i*vc : i*vc+vc]
+		o := out[i*nc : i*nc+nc]
+		for c := range o {
+			o[c] = float64(row[c]) / nt
+		}
+	}
+	return out
+}
+
+// grow resizes the scratch vote buffer to n zeroed int32s.
+func (s *qScratch) grow(n int) []int32 {
+	if cap(s.votes) < n {
+		s.votes = make([]int32, n)
+	}
+	s.votes = s.votes[:n]
+	for i := range s.votes {
+		s.votes[i] = 0
+	}
+	return s.votes
+}
+
+// ClassifyKeys32 is the serving hot path: it classifies n rows of the
+// row-major key-encoded matrix X (row i at X[i*stride:], each value a
+// sortKey32 of the float32 feature — see ConvertRow32) into out, walking
+// trees in the outer loop so the node array streams once per batch, and
+// retiring a sample as soon as its leading class holds more votes than the
+// remaining trees could overturn (strictly more, so first-max tie-breaking
+// is preserved exactly). scratch may be nil.
+func (q *QuantForest) ClassifyKeys32(X []uint32, stride, n int, out []int, scratch *qScratch) {
+	if n == 0 {
+		return
+	}
+	s := scratch
+	if s == nil {
+		s = qScratchPool.Get().(*qScratch)
+		defer qScratchPool.Put(s)
+	}
+	vc := q.vote
+	// One extra row: the group walker parks its padding lanes' votes there.
+	votes := s.grow(n*vc + vc)
+	if cap(s.idx) < n {
+		s.idx = make([]int32, n)
+	}
+	active := s.idx[:n]
+	for i := range active {
+		active[i] = int32(i)
+	}
+
+	// checkEvery balances margin-scan cost against wasted tree walks; 32
+	// trees is ~1% of a fleet-sized ensemble.
+	const checkEvery = 32
+	t := 0
+	for t < len(q.roots) && len(active) > 0 {
+		step := checkEvery
+		if rest := len(q.roots) - t; rest < step {
+			step = rest
+		}
+		q.voteTrees(X, stride, active, n, votes, vc, t, t+step)
+		t += step
+		remaining := int32(len(q.roots) - t)
+		if remaining == 0 {
+			break
+		}
+		// Retire samples whose winner is already decided.
+		live := active[:0]
+		for _, si := range active {
+			row := votes[int(si)*vc : int(si)*vc+vc]
+			best, bestN, second := 0, int32(-1), int32(-1)
+			for c, v := range row {
+				if v > bestN {
+					second = bestN
+					best, bestN = c, v
+				} else if v > second {
+					second = v
+				}
+			}
+			if bestN-second > remaining {
+				out[si] = best
+				continue
+			}
+			live = append(live, si)
+		}
+		active = live
+	}
+	for _, si := range active {
+		row := votes[int(si)*vc : int(si)*vc+vc]
+		best, bestN := 0, int32(-1)
+		for c, v := range row {
+			if v > bestN {
+				best, bestN = c, v
+			}
+		}
+		out[si] = best
+	}
+}
+
+// voteTrees accumulates votes for trees [t0, t1) over the rows named by
+// active (or rows [0, n) when active is nil). Groups of eight samples walk
+// every tree in the window in lockstep: leaves absorb, so a group advances
+// unconditionally in 4-level strides and the eight dependent node-load
+// chains overlap instead of serializing. For serving-width feature vectors
+// (stride <= 8) each group's keys are first transposed into a 64-entry
+// stack block, so the inner walk indexes a constant-base array with a
+// provably in-range offset — no slice-header loads and no bounds checks on
+// the hottest loads. Short groups pad with copies of their first lane and
+// park the padding lanes' votes on the caller-provided spare row at
+// votes[n*vc:].
+func (q *QuantForest) voteTrees(X []uint32, stride int, active []int32, n int,
+	votes []int32, vc int, t0, t1 int) {
+
+	nodes := q.nodes
+	roots := q.roots[t0:t1]
+	m := n
+	if active != nil {
+		m = len(active)
+	}
+	if stride <= 8 {
+		var xT [64]uint32
+		var vb [8]int32
+		spare := int32(n * vc)
+		for s := 0; s < m; s += 8 {
+			g := m - s
+			if g > 8 {
+				g = 8
+			}
+			for k := 0; k < g; k++ {
+				a := int32(s + k)
+				if active != nil {
+					a = active[s+k]
+				}
+				copy(xT[k*8:k*8+8], X[int(a)*stride:int(a)*stride+stride])
+				vb[k] = a * int32(vc)
+			}
+			for k := g; k < 8; k++ {
+				copy(xT[k*8:k*8+8], xT[0:8])
+				vb[k] = spare
+			}
+			walkGroup8(nodes, roots, &xT, &vb, votes)
+		}
+		return
+	}
+	// Wide feature vectors (not the serving shape): plain scalar walks.
+	for _, root := range roots {
+		if active == nil {
+			for s := 0; s < n; s++ {
+				votes[s*vc+q.predictTree(root, X[s*stride:])]++
+			}
+			continue
+		}
+		for _, a := range active {
+			votes[int(a)*vc+q.predictTree(root, X[int(a)*stride:])]++
+		}
+	}
+}
+
+// walkGroup8 walks one transposed eight-row group through every tree in
+// roots, bumping votes[vb[k]+class_k] per tree. Lane k's keys live at
+// xT[k*8 : k*8+8]; features are < 8 on this path, so the &7 lets the
+// compiler drop every bounds check on the feature loads.
+//
+// The child select is pure integer arithmetic: thresholds and features are
+// sortKey32-encoded, so (x > t) is an unsigned key comparison, computed as
+// the sign of the int64 difference and applied as an XOR mask. Split
+// decisions are data-dependent coin flips — a branch here mispredicts
+// constantly and flushes all eight walks; the mask form has no branch to
+// mispredict, and the eight dependent load chains overlap.
+func walkGroup8(nodes []qNode, roots []int32, xT *[64]uint32, vb *[8]int32, votes []int32) {
+	for _, root := range roots {
+		i0, i1, i2, i3 := root, root, root, root
+		i4, i5, i6, i7 := root, root, root, root
+		for {
+			for step := 0; step < 4; step++ {
+				n0 := &nodes[i0]
+				m0 := int32((int64(n0.key) - int64(xT[n0.feature&7])) >> 63)
+				i0 = n0.left ^ ((n0.left ^ n0.right) & m0)
+				n1 := &nodes[i1]
+				m1 := int32((int64(n1.key) - int64(xT[8+n1.feature&7])) >> 63)
+				i1 = n1.left ^ ((n1.left ^ n1.right) & m1)
+				n2 := &nodes[i2]
+				m2 := int32((int64(n2.key) - int64(xT[16+n2.feature&7])) >> 63)
+				i2 = n2.left ^ ((n2.left ^ n2.right) & m2)
+				n3 := &nodes[i3]
+				m3 := int32((int64(n3.key) - int64(xT[24+n3.feature&7])) >> 63)
+				i3 = n3.left ^ ((n3.left ^ n3.right) & m3)
+				n4 := &nodes[i4]
+				m4 := int32((int64(n4.key) - int64(xT[32+n4.feature&7])) >> 63)
+				i4 = n4.left ^ ((n4.left ^ n4.right) & m4)
+				n5 := &nodes[i5]
+				m5 := int32((int64(n5.key) - int64(xT[40+n5.feature&7])) >> 63)
+				i5 = n5.left ^ ((n5.left ^ n5.right) & m5)
+				n6 := &nodes[i6]
+				m6 := int32((int64(n6.key) - int64(xT[48+n6.feature&7])) >> 63)
+				i6 = n6.left ^ ((n6.left ^ n6.right) & m6)
+				n7 := &nodes[i7]
+				m7 := int32((int64(n7.key) - int64(xT[56+n7.feature&7])) >> 63)
+				i7 = n7.left ^ ((n7.left ^ n7.right) & m7)
+			}
+			// class is -1 on split nodes, so the sign bit of the OR says
+			// whether any lane is still walking.
+			if nodes[i0].class|nodes[i1].class|nodes[i2].class|nodes[i3].class|
+				nodes[i4].class|nodes[i5].class|nodes[i6].class|nodes[i7].class >= 0 {
+				break
+			}
+		}
+		votes[int(vb[0])+int(nodes[i0].class)]++
+		votes[int(vb[1])+int(nodes[i1].class)]++
+		votes[int(vb[2])+int(nodes[i2].class)]++
+		votes[int(vb[3])+int(nodes[i3].class)]++
+		votes[int(vb[4])+int(nodes[i4].class)]++
+		votes[int(vb[5])+int(nodes[i5].class)]++
+		votes[int(vb[6])+int(nodes[i6].class)]++
+		votes[int(vb[7])+int(nodes[i7].class)]++
+	}
+}

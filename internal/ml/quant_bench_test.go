@@ -1,0 +1,38 @@
+package ml_test
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/ml"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+)
+
+// benchForest times the quantized class kernel at a given forest shape and
+// batch size — the knobs that set the serving throughput ceiling (the shard
+// bench's forest is 2400x20; batch tracks the coalescer's max-batch).
+func benchForest(b *testing.B, trees, depth, batch int) {
+	ds := dataset.GenerateMain(42).ToML(true)
+	rf := &ml.RandomForest{NumTrees: trees, MaxDepth: depth, Seed: 42}
+	if err := rf.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	q, err := rf.Quantize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := make([][]float64, batch)
+	for i := range X {
+		X[i] = ds.X[i%len(ds.X)]
+	}
+	out := make([]int, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.PredictBatch(X, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
+}
+
+func BenchmarkQ2400x20b64(b *testing.B)  { benchForest(b, 2400, 20, 64) }
+func BenchmarkQ2400x20b256(b *testing.B) { benchForest(b, 2400, 20, 256) }
+func BenchmarkQ2400x20b512(b *testing.B) { benchForest(b, 2400, 20, 512) }

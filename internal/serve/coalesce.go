@@ -46,12 +46,26 @@ type Decision struct {
 
 // pending is one request in flight through the coalescer.
 type pending struct {
-	x    []float64
-	ctx  context.Context
-	done chan struct{}
-	dec  Decision
-	err  error
+	x         []float64
+	classOnly bool
+	ctx       context.Context
+	done      chan struct{}
+	dec       Decision
+	err       error
 }
+
+// Pending is the handle for a decision submitted without blocking (Submit).
+// It lets a pipelined transport interleave many in-flight requests on one
+// goroutine: submit N, then await results in order.
+type Pending struct {
+	p *pending
+}
+
+// Done is closed when the decision (or its error) is ready.
+func (t *Pending) Done() <-chan struct{} { return t.p.done }
+
+// Result returns the decision; it must only be called after Done is closed.
+func (t *Pending) Result() (Decision, error) { return t.p.dec, t.p.err }
 
 // CoalescerConfig sizes the batching engine.
 type CoalescerConfig struct {
@@ -92,9 +106,11 @@ type Coalescer struct {
 	dispatcherDone chan struct{}
 
 	// Dispatcher-owned scratch (single goroutine, reused across batches).
-	batch []*pending
-	x     [][]float64
-	proba []float64
+	batch   []*pending
+	classed []*pending
+	x       [][]float64
+	proba   []float64
+	classes []int
 }
 
 // NewCoalescer starts a coalescer serving predictions from reg's active
@@ -107,6 +123,7 @@ func NewCoalescer(reg *Registry, cfg CoalescerConfig) *Coalescer {
 		queue:          make(chan *pending, cfg.QueueDepth),
 		dispatcherDone: make(chan struct{}),
 		batch:          make([]*pending, 0, cfg.MaxBatch),
+		classed:        make([]*pending, 0, cfg.MaxBatch),
 		x:              make([][]float64, 0, cfg.MaxBatch),
 	}
 	if cfg.MaxBatch > 1 {
@@ -123,15 +140,37 @@ func NewCoalescer(reg *Registry, cfg CoalescerConfig) *Coalescer {
 // the first model load, and ctx.Err() when the request's deadline expires
 // before a result is ready.
 func (c *Coalescer) Decide(ctx context.Context, x []float64) (Decision, error) {
-	if c.cfg.MaxBatch <= 1 {
-		return c.decideInline(ctx, x)
+	t, err := c.Submit(ctx, x, false)
+	if err != nil {
+		return Decision{}, err
 	}
-	p := &pending{x: x, ctx: ctx, done: make(chan struct{})}
+	select {
+	case <-t.Done():
+		return t.Result()
+	case <-ctx.Done():
+		obsCanceled.Inc()
+		return Decision{}, ctx.Err()
+	}
+}
+
+// Submit enqueues one feature vector without waiting for the answer; the
+// returned Pending resolves when a batch containing the request flushes.
+// classOnly requests skip the per-class probability row and take the
+// model's early-exit class kernel — the binary wire's default. Admission
+// errors (ErrOverloaded, ErrDraining) are returned immediately.
+func (c *Coalescer) Submit(ctx context.Context, x []float64, classOnly bool) (*Pending, error) {
+	p := &pending{x: x, classOnly: classOnly, ctx: ctx, done: make(chan struct{})}
+	if c.cfg.MaxBatch <= 1 {
+		if err := c.decideInline(p); err != nil {
+			return nil, err
+		}
+		return &Pending{p: p}, nil
+	}
 
 	c.mu.RLock()
 	if c.closing {
 		c.mu.RUnlock()
-		return Decision{}, ErrDraining
+		return nil, ErrDraining
 	}
 	select {
 	case c.queue <- p:
@@ -139,38 +178,38 @@ func (c *Coalescer) Decide(ctx context.Context, x []float64) (Decision, error) {
 	default:
 		c.mu.RUnlock()
 		obsShed.Inc()
-		return Decision{}, ErrOverloaded
+		return nil, ErrOverloaded
 	}
 	c.mu.RUnlock()
-
-	select {
-	case <-p.done:
-		return p.dec, p.err
-	case <-ctx.Done():
-		obsCanceled.Inc()
-		return Decision{}, ctx.Err()
-	}
+	return &Pending{p: p}, nil
 }
 
-// decideInline is the uncoalesced path: one model walk per request.
-func (c *Coalescer) decideInline(ctx context.Context, x []float64) (Decision, error) {
-	if err := ctx.Err(); err != nil {
+// decideInline is the uncoalesced path: one model walk per request,
+// resolved before Submit returns.
+func (c *Coalescer) decideInline(p *pending) error {
+	if err := p.ctx.Err(); err != nil {
 		obsCanceled.Inc()
-		return Decision{}, err
+		return err
 	}
 	c.mu.RLock()
 	closing := c.closing
 	c.mu.RUnlock()
 	if closing {
-		return Decision{}, ErrDraining
+		return ErrDraining
 	}
 	m := c.reg.Active()
 	if m == nil {
-		return Decision{}, ErrNoModel
+		return ErrNoModel
 	}
 	obsBatchSize.Observe(1)
-	proba := m.pred.Proba(x)
-	return Decision{Action: dataset.Action(argmax(proba)), Proba: proba, Model: m}, nil
+	if p.classOnly {
+		p.dec = Decision{Action: dataset.Action(m.pred.Predict(p.x)), Model: m}
+	} else {
+		proba := m.pred.Proba(p.x)
+		p.dec = Decision{Action: dataset.Action(argmax(proba)), Proba: proba, Model: m}
+	}
+	close(p.done)
+	return nil
 }
 
 // Close stops admissions, waits for queued requests to be answered, and
@@ -249,22 +288,31 @@ func (c *Coalescer) dispatch() {
 	}
 }
 
-// flush answers one batch with a single model invocation against one
-// atomically captured model snapshot — a concurrent hot-swap never splits a
-// batch across versions or drops a request.
+// flush answers one batch against one atomically captured model snapshot —
+// a concurrent hot-swap never splits a batch across versions or drops a
+// request. Class-only requests (the binary wire's default) go through the
+// model's early-exit class kernel; requests wanting probabilities go
+// through the exact-vote batch path. Both partitions use the same snapshot.
 func (c *Coalescer) flush(batch []*pending) {
 	// Discard requests whose waiter already gave up: their context is
-	// dead, so model time spent on them is wasted.
+	// dead, so model time spent on them is wasted. Partition survivors by
+	// the path they need.
 	live := batch[:0]
+	classed := c.classed[:0]
 	for _, p := range batch {
 		if p.ctx.Err() != nil {
 			p.err = p.ctx.Err()
 			close(p.done)
 			continue
 		}
-		live = append(live, p)
+		if p.classOnly {
+			classed = append(classed, p)
+		} else {
+			live = append(live, p)
+		}
 	}
-	if len(live) == 0 {
+	c.classed = classed[:0]
+	if len(live)+len(classed) == 0 {
 		return
 	}
 	m := c.reg.Active()
@@ -273,9 +321,29 @@ func (c *Coalescer) flush(batch []*pending) {
 			p.err = ErrNoModel
 			close(p.done)
 		}
+		for _, p := range classed {
+			p.err = ErrNoModel
+			close(p.done)
+		}
 		return
 	}
-	obsBatchSize.Observe(float64(len(live)))
+	obsBatchSize.Observe(float64(len(live) + len(classed)))
+
+	if len(classed) > 0 {
+		x := c.x[:0]
+		for _, p := range classed {
+			x = append(x, p.x)
+		}
+		c.x = x
+		c.classes = m.pred.PredictBatch(x, c.classes)
+		for i, p := range classed {
+			p.dec = Decision{Action: dataset.Action(c.classes[i]), Model: m}
+			close(p.done)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
 	x := c.x[:0]
 	for _, p := range live {
 		x = append(x, p.x)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/libra-wlan/libra/internal/core"
+	"github.com/libra-wlan/libra/internal/ml"
 )
 
 // Predictor is what the serving layer needs from a model: the single-sample
@@ -51,6 +52,22 @@ var ErrNoModel = errors.New("serve: no model loaded")
 // ErrNoRollback is returned when rollback has no previous model to restore.
 var ErrNoRollback = errors.New("serve: no previous model to roll back to")
 
+// Serving model formats: what representation a loaded artifact takes on
+// the decide path. Artifacts on disk stay float64 (core.SaveClassifier v2
+// and legacy v1); the registry converts at load time.
+const (
+	// FormatFloat64 serves the forest's float64 flat arrays as persisted.
+	FormatFloat64 = "float64"
+	// FormatQuant32 compiles random forests to the quantized flat
+	// representation (ml.QuantForest): float32 thresholds, 16-byte nodes,
+	// early-exit batch kernel — bit-identical predicted classes on
+	// float32-representable inputs.
+	FormatQuant32 = "quant32"
+)
+
+// ErrBadFormat is returned for an unknown model format.
+var ErrBadFormat = errors.New(`serve: unknown model format (want "float64" or "quant32")`)
+
 // Registry holds the serving model with versioned, atomic hot-swap and
 // one-step rollback. Reads (Active) are a single atomic pointer load on the
 // decision hot path; swaps serialize on a mutex.
@@ -60,6 +77,7 @@ type Registry struct {
 	mu     sync.Mutex
 	prev   *Model // rollback target: the model displaced by the last swap
 	nextID int
+	format string // "" or FormatFloat64 serve as persisted
 }
 
 // NewRegistry returns an empty registry; the server reports not-ready until
@@ -83,7 +101,43 @@ func (r *Registry) Load(source string, rd io.Reader) (*Model, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: model family %s lacks the batch prediction paths", clf.Name())
 	}
+	if r.Format() == FormatQuant32 {
+		rf, ok := clf.Model.(*ml.RandomForest)
+		if !ok {
+			return nil, fmt.Errorf("serve: model family %s has no quantized form", clf.Name())
+		}
+		q, err := rf.Quantize()
+		if err != nil {
+			return nil, fmt.Errorf("serve: quantize: %w", err)
+		}
+		pred = q
+	}
 	return r.Install(source, pred), nil
+}
+
+// SetFormat selects the serving representation applied by subsequent Loads
+// (FormatFloat64 or FormatQuant32; "" means FormatFloat64). Already-loaded
+// models keep the representation they were loaded with.
+func (r *Registry) SetFormat(format string) error {
+	switch format {
+	case "", FormatFloat64, FormatQuant32:
+	default:
+		return ErrBadFormat
+	}
+	r.mu.Lock()
+	r.format = format
+	r.mu.Unlock()
+	return nil
+}
+
+// Format returns the representation applied by Load.
+func (r *Registry) Format() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.format == "" {
+		return FormatFloat64
+	}
+	return r.format
 }
 
 // Install registers an already-fitted predictor and atomically swaps it in.

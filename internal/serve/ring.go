@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Consistent-hash ring for shard routing. Links are sticky: the same link
+// ID always lands on the same shard (so per-link serving state — warm
+// caches, per-link metrics — stays put), and adding or removing a shard
+// moves only ~1/N of the keys instead of reshuffling everything. Each
+// shard owns many virtual points on the ring to even out the split.
+//
+// Everything here is deterministic — pure hashing, no clocks, no
+// randomness — so a given (shards, vnodes, linkID) triple routes
+// identically on every host and in every test run. ring*.go sits inside
+// the determinism analyzer's banned set, like replay*.go and wire*.go.
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// shard.
+type ringPoint struct {
+	hash  uint64
+	shard int32
+}
+
+// hashRing maps 64-bit keys to shards.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+// newRing builds a ring of shards × vnodes virtual points. Point positions
+// hash the stable string "shard/<i>/vnode/<j>" with FNV-1a, so ring layout
+// depends only on the counts.
+func newRing(shards, vnodes int) *hashRing {
+	if shards < 1 {
+		shards = 1
+	}
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &hashRing{points: make([]ringPoint, 0, shards*vnodes), shards: shards}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "shard/%d/vnode/%d", s, v)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), shard: int32(s)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.shard < b.shard
+	})
+	return r
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler that
+// spreads sequential link IDs uniformly over the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardFor returns the shard owning linkID: the first ring point at or
+// after the key's scrambled position, wrapping at the top.
+func (r *hashRing) shardFor(linkID uint64) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := mix64(linkID)
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	return int(pts[i].shard)
+}

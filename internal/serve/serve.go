@@ -32,8 +32,15 @@ const maxModelUpload = 256 << 20
 
 // Config parameterizes the service.
 type Config struct {
-	// Coalescer sizes the batching engine (zero values pick defaults).
+	// Coalescer sizes each shard's batching engine (zero values pick
+	// defaults).
 	Coalescer CoalescerConfig
+	// Shards is the number of coalescer shards behind the consistent-hash
+	// router (<= 0 selects 1).
+	Shards int
+	// VNodes is the virtual points per shard on the hash ring (<= 0
+	// selects 64).
+	VNodes int
 	// DefaultTimeout is applied to decision requests that carry no
 	// deadline of their own (<= 0 selects 2s).
 	DefaultTimeout time.Duration
@@ -42,6 +49,9 @@ type Config struct {
 // withDefaults resolves the zero values.
 func (c Config) withDefaults() Config {
 	c.Coalescer = c.Coalescer.withDefaults()
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 2 * time.Second
 	}
@@ -50,34 +60,40 @@ func (c Config) withDefaults() Config {
 
 // Server answers decision queries from the registry's active model.
 //
-//	POST /v1/decide        {"features":[7 floats]} -> action + probabilities
+//	POST /v1/decide        {"features":[7 floats],"link_id":N} -> action + probabilities
 //	GET  /models           active model and rollback target
 //	POST /models           upload a libra-model artifact; atomic hot-swap
 //	POST /models/rollback  restore the previously active model
+//	GET  /shards           per-shard routing and admission stats
 //	GET  /healthz          liveness (200 once the process serves HTTP)
 //	GET  /readyz           readiness (200 once a model is loaded)
 //	GET  /metrics          libra_serve_* metrics (Prometheus; ?format=json)
 type Server struct {
 	cfg Config
 	reg *Registry
-	co  *Coalescer
+	rt  *Router
 	mux *http.ServeMux
 }
 
 // New assembles a server around reg. Callers own the registry so they can
-// pre-load a model before exposing the listener; Close drains the coalescer.
+// pre-load a model before exposing the listener; Close drains every shard.
 func New(reg *Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg: cfg,
 		reg: reg,
-		co:  NewCoalescer(reg, cfg.Coalescer),
+		rt: NewRouter(reg, RouterConfig{
+			Shards:    cfg.Shards,
+			VNodes:    cfg.VNodes,
+			Coalescer: cfg.Coalescer,
+		}),
 		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
 	s.mux.HandleFunc("GET /models", s.handleModels)
 	s.mux.HandleFunc("POST /models", s.handleModelUpload)
 	s.mux.HandleFunc("POST /models/rollback", s.handleRollback)
+	s.mux.HandleFunc("GET /shards", s.handleShards)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -87,16 +103,23 @@ func New(reg *Registry, cfg Config) *Server {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops admissions and drains queued decisions. Call after the HTTP
-// listener has shut down (so no handler can enqueue concurrently forever);
-// handlers still blocked in Decide are answered before Close returns.
-func (s *Server) Close() { s.co.Close() }
+// Router returns the sharded decide plane, for mounting the binary
+// protocol listener on the same shards (cmd/libra-serve).
+func (s *Server) Router() *Router { return s.rt }
+
+// Close stops admissions and drains queued decisions. Call after the
+// listeners have shut down (so no handler can enqueue concurrently
+// forever); handlers still blocked in Decide are answered before Close
+// returns.
+func (s *Server) Close() { s.rt.Close() }
 
 // decideRequest is the POST /v1/decide body.
 type decideRequest struct {
 	// Features is the 7-dimensional PHY feature vector in campaign order
 	// (see dataset.Entry.Features).
 	Features []float64 `json:"features"`
+	// LinkID keys consistent-hash shard routing; absent means link 0.
+	LinkID uint64 `json:"link_id"`
 }
 
 // respPool recycles response-encoding buffers across decision requests.
@@ -130,7 +153,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
 		defer cancel()
 	}
-	dec, err := s.co.Decide(ctx, req.Features)
+	dec, err := s.rt.Decide(ctx, req.LinkID, req.Features)
 	if err != nil {
 		s.writeDecideError(w, err)
 		return
@@ -219,6 +242,21 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// shardsResponse is the GET /shards body.
+type shardsResponse struct {
+	Shards []ShardStat `json:"shards"`
+	Total  uint64      `json:"total"`
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	stats := s.rt.ShardStats()
+	var total uint64
+	for _, st := range stats {
+		total += st.Requests
+	}
+	writeJSON(w, http.StatusOK, shardsResponse{Shards: stats, Total: total})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
