@@ -22,11 +22,12 @@ lint:
 	$(GO) run ./cmd/libra-lint ./...
 
 # bench records a dated BENCH_<date>.json snapshot of the paper-reproduction
-# benchmarks and diffs it against the previous snapshot (10% threshold). A
+# benchmarks and diffs it against the previous snapshot (10% threshold),
+# keeping each benchmark's fastest of 3 runs to reject scheduler noise. A
 # lint-dirty tree refuses to snapshot: numbers recorded off a tree that
 # breaks the determinism contracts are not reproducible evidence.
 bench: lint
-	$(GO) run ./cmd/libra-bench -bench 'Table1|Table2|CrossValidation|ForestFit|PredictBatch|SectorSweep|ClassifierInference|PolicyEntry' -benchtime 1x
+	$(GO) run ./cmd/libra-bench -bench 'Table1|Table2|CampaignColumnar|SweepFused|CrossValidation|ForestFit|PredictBatch|SectorSweep|ClassifierInference|PolicyEntry' -benchtime 1x -runs 3
 
 # serve-bench records a dated BENCH_<date>_serve.json artifact of the
 # decision service A/B (per-request vs coalesced inference, concurrency 64).

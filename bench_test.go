@@ -9,15 +9,20 @@
 package libra
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/libra-wlan/libra/internal/channel"
 	"github.com/libra-wlan/libra/internal/core"
 	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/env"
 	"github.com/libra-wlan/libra/internal/experiments"
+	"github.com/libra-wlan/libra/internal/geom"
 	"github.com/libra-wlan/libra/internal/ml"
+	"github.com/libra-wlan/libra/internal/phased"
 	"github.com/libra-wlan/libra/internal/sim"
 	"github.com/libra-wlan/libra/internal/trace"
 )
@@ -87,6 +92,40 @@ func BenchmarkTable2(b *testing.B) {
 		c := dataset.GenerateTest(43)
 		if c.Len() != 456 {
 			b.Fatalf("entries = %d", c.Len())
+		}
+	}
+}
+
+// BenchmarkCampaignColumnar measures campaign generation through the columnar
+// sample store end to end: feature extraction lands in SoA column blocks, the
+// per-worker stores are spliced without transposing, and the Entry view is
+// materialized once from a single slab at merge.
+func BenchmarkCampaignColumnar(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := dataset.GenerateMain(42)
+		cols := c.Columns()
+		if cols == nil || cols.Len() != c.Len() {
+			b.Fatal("missing columnar view")
+		}
+	}
+}
+
+// BenchmarkSweepFused measures the fused 25x25 sector sweep: each iteration
+// moves the receiver (forcing a geometry and gain-table rebuild, like a
+// displacement step) and then finds the best beam pair through the blocked
+// matrix kernel.
+func BenchmarkSweepFused(b *testing.B) {
+	e := env.Lobby()
+	tx := phased.NewArray(geom.V(2, 6), 0, 7)
+	rx := phased.NewArray(geom.V(15, 5), 90, 108)
+	l := channel.NewLink(e, tx, rx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.MoveRx(geom.V(15, 5+float64(i%5)*0.05))
+		if _, _, snr := l.BestPair(); math.IsNaN(snr) {
+			b.Fatal("bad sweep")
 		}
 	}
 }

@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	libra-bench [-bench 'Table1|Table2'] [-benchtime 1x] [-pkg .]
+//	libra-bench [-bench 'Table1|Table2'] [-benchtime 1x] [-runs K] [-pkg .]
 //	            [-dir .] [-threshold 0.10] [-strict] [-label mylabel]
+//
+// -runs repeats the go test child K times and keeps, per benchmark, the run
+// with the lowest ns/op (best-of-K, the same noise-rejection idiom as
+// shard-bench's -runs). On a loaded machine the minimum is a far better
+// estimate of the code's cost than any single sample.
 //
 // Every benchmark line is parsed into its full metric set (ns/op, B/op,
 // allocs/op, and any custom b.ReportMetric units such as acc%). For the
@@ -49,6 +54,10 @@ type Snapshot struct {
 	GitSHA string `json:"git_sha,omitempty"`
 	// Workers is the campaign worker count of the obs workload below.
 	Workers int `json:"workers,omitempty"`
+	// Runs is the best-of-K repetition count the results were selected from
+	// (absent or 1: a single run). The key avoids "runs", which the loadgen
+	// shard artifacts already use for an array.
+	Runs int `json:"best_of,omitempty"`
 	// BenchArgs is the go test invocation that produced the numbers.
 	BenchArgs string `json:"bench_args"`
 	// Results maps benchmark name (without the -N GOMAXPROCS suffix) to
@@ -82,6 +91,7 @@ func main() {
 	log.SetPrefix("libra-bench: ")
 	bench := flag.String("bench", ".", "benchmark name pattern (go test -bench)")
 	benchTime := flag.String("benchtime", "1x", "per-benchmark time or iteration count (go test -benchtime)")
+	runs := flag.Int("runs", 1, "repeat the benchmark child this many times and keep each benchmark's fastest run (best-of-K)")
 	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
 	dir := flag.String("dir", ".", "directory for BENCH_<date>.json snapshots")
 	threshold := flag.Float64("threshold", 0.10, "relative increase in a lower-is-better metric that counts as a regression")
@@ -97,48 +107,58 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	args := []string{"test", "-run=^$", "-bench=" + *bench, "-benchmem", "-benchtime=" + *benchTime, *pkg}
-	log.Printf("running: go %s", strings.Join(args, " "))
-	cmd := exec.Command("go", args...)
-	var out bytes.Buffer
-	cmd.Stdout = &out
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		os.Stdout.Write(out.Bytes())
-		log.Fatalf("go test failed: %v", err)
+	if *runs < 1 {
+		*runs = 1
 	}
-
+	args := []string{"test", "-run=^$", "-bench=" + *bench, "-benchmem", "-benchtime=" + *benchTime, *pkg}
 	snap := &Snapshot{
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GitSHA:     gitSHA(),
 		Workers:    *workers,
+		Runs:       *runs,
 		BenchArgs:  strings.Join(args, " "),
 		Results:    map[string]Result{},
 	}
-	sc := bufio.NewScanner(&out)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+	for r := 1; r <= *runs; r++ {
+		log.Printf("running (%d/%d): go %s", r, *runs, strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			os.Stdout.Write(out.Bytes())
+			log.Fatalf("go test failed: %v", err)
 		}
-		iters, err := strconv.Atoi(m[2])
-		if err != nil {
-			continue
+		parsed := 0
+		sc := bufio.NewScanner(&out)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			iters, err := strconv.Atoi(m[2])
+			if err != nil {
+				continue
+			}
+			metrics, err := parseMetrics(m[3])
+			if err != nil {
+				log.Printf("skipping unparseable line %q: %v", line, err)
+				continue
+			}
+			parsed++
+			res := Result{Iters: iters, Metrics: metrics}
+			if best, ok := snap.Results[m[1]]; !ok || fasterThan(res, best) {
+				snap.Results[m[1]] = res
+			}
 		}
-		metrics, err := parseMetrics(m[3])
-		if err != nil {
-			log.Printf("skipping unparseable line %q: %v", line, err)
-			continue
+		if parsed == 0 {
+			os.Stdout.Write(out.Bytes())
+			log.Fatal("no benchmark results parsed")
 		}
-		snap.Results[m[1]] = Result{Iters: iters, Metrics: metrics}
-	}
-	if len(snap.Results) == 0 {
-		os.Stdout.Write(out.Bytes())
-		log.Fatal("no benchmark results parsed")
 	}
 
 	snap.Obs = obsWorkload(*workers)
@@ -177,6 +197,15 @@ func main() {
 	if err := oc.Stop(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// fasterThan reports whether a beats b for best-of-K selection: strictly
+// lower ns/op. A run without ns/op never displaces an earlier one, so the
+// whole metric set of one coherent run is kept together.
+func fasterThan(a, b Result) bool {
+	av, aok := a.Metrics["ns/op"]
+	bv, bok := b.Metrics["ns/op"]
+	return aok && bok && av < bv
 }
 
 // gitSHA returns the current commit hash, or "" outside a git checkout.

@@ -1,11 +1,20 @@
 // Command libra-dataset generates the measurement campaigns of §4-§5 and
 // prints their summaries (Tables 1 and 2). With -json it writes the full
 // entry list to stdout for external analysis, mirroring the public dataset
-// release that accompanies the paper.
+// release that accompanies the paper. With -o it writes the campaign as a
+// streaming libra-ds v1 (.lds) container — the binary column format
+// libra-train -data loads back without re-running the channel model.
 //
 // Usage:
 //
-//	libra-dataset [-seed N] [-which main|test|both] [-json]
+//	libra-dataset [-seed N] [-which main|test|both] [-workers N]
+//	              [-json] [-digest] [-o FILE]
+//
+// -workers sets both the campaign generation and the .lds chunk-encode
+// worker counts; the output bytes are identical for every value (the
+// determinism contract pinned by the digest and writer tests). -digest
+// prints each campaign's content digest, the same hex string embedded in
+// the .lds footer and verified on load.
 package main
 
 import (
@@ -14,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"github.com/libra-wlan/libra/internal/dataset"
 	"github.com/libra-wlan/libra/internal/experiments"
@@ -53,31 +63,80 @@ func export(c *dataset.Campaign) error {
 	return nil
 }
 
+// writeLDS streams the campaign into path as a libra-ds v1 container.
+func writeLDS(c *dataset.Campaign, path string, workers int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteLDS(f, dataset.DefaultChunkRows, workers); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d entries, %d bytes (digest %s)\n",
+		path, len(c.Entries), st.Size(), c.Digest())
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("libra-dataset: ")
 	seed := flag.Int64("seed", 42, "campaign random seed")
 	which := flag.String("which", "both", "main, test, or both")
+	workers := flag.Int("workers", 0, "generation and encode worker count (0 = all cores); output is worker-count independent")
 	asJSON := flag.Bool("json", false, "dump entries as JSON lines instead of summaries")
+	digest := flag.Bool("digest", false, "print each campaign's content digest instead of summaries")
+	out := flag.String("o", "", "write the campaign as a libra-ds v1 (.lds) file (requires -which main or -which test)")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	wantMain := *which == "main" || *which == "both"
+	wantTest := *which == "test" || *which == "both"
+	if !wantMain && !wantTest {
+		log.Fatalf("-which %q: must be main, test, or both", *which)
+	}
+	if *out != "" && wantMain == wantTest {
+		log.Fatal("-o writes one campaign: use -which main or -which test")
+	}
 
+	// Generate with the requested worker count and hand the campaigns to the
+	// suite, so the table summaries reuse them instead of regenerating.
 	s := experiments.NewSuite(*seed)
-	if *which == "main" || *which == "both" {
-		if *asJSON {
-			if err := export(s.Main()); err != nil {
+	if wantMain {
+		s.UseMain(dataset.GenerateMainWorkers(*seed, *workers))
+	}
+	if wantTest {
+		s.UseTest(dataset.GenerateTestWorkers(*seed+1, *workers))
+	}
+
+	show := func(c *dataset.Campaign, table func(*experiments.Suite) *experiments.Table) {
+		switch {
+		case *out != "":
+			if err := writeLDS(c, *out, *workers); err != nil {
 				log.Fatal(err)
 			}
-		} else {
-			fmt.Println(experiments.Table1(s))
+		case *digest:
+			fmt.Printf("%s %s\n", c.Name, c.Digest())
+		case *asJSON:
+			if err := export(c); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			fmt.Println(table(s))
 		}
 	}
-	if *which == "test" || *which == "both" {
-		if *asJSON {
-			if err := export(s.Test()); err != nil {
-				log.Fatal(err)
-			}
-		} else {
-			fmt.Println(experiments.Table2(s))
-		}
+	if wantMain {
+		show(s.Main(), experiments.Table1)
+	}
+	if wantTest {
+		show(s.Test(), experiments.Table2)
 	}
 }

@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	libra-train [-seed N] [-reps N] [-o FILE] [-fit-only] [-verify-quant]
-//	            [-trees N] [-depth N] [-metrics-out FILE] [-trace-out FILE]
-//	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
+//	libra-train [-seed N] [-reps N] [-data FILE] [-o FILE] [-fit-only]
+//	            [-verify-quant] [-trees N] [-depth N] [-metrics-out FILE]
+//	            [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-pprof ADDR]
+//
+// -data loads the main (training) campaign from a libra-ds v1 (.lds) file
+// written by libra-dataset -o, skipping channel-model generation entirely;
+// the container's embedded digest is verified on load.
 //
 // -o writes the trained 3-class model in the versioned libra-model format
 // that libra-serve -model consumes. -fit-only skips the study and only
@@ -38,6 +43,7 @@ func main() {
 	log.SetPrefix("libra-train: ")
 	seed := flag.Int64("seed", 42, "suite random seed")
 	reps := flag.Int("reps", 10, "cross-validation repetitions (paper: 500)")
+	data := flag.String("data", "", "load the main (training) campaign from a libra-ds v1 (.lds) file instead of generating it")
 	out := flag.String("o", "", "write the trained 3-class model (libra-model format) to this file")
 	save := flag.String("save", "", "alias for -o (kept for compatibility)")
 	fitOnly := flag.Bool("fit-only", false, "skip the CV study; only train and write/verify the model (needs -o or -verify-quant)")
@@ -57,6 +63,14 @@ func main() {
 	}
 
 	s := experiments.NewSuite(*seed)
+	if *data != "" {
+		camp, err := dataset.OpenLDS(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.UseMain(camp)
+		log.Printf("training data: %s (%d entries, digest %s)", *data, len(camp.Entries), camp.Digest())
+	}
 	if !*fitOnly {
 		cv, err := experiments.CrossValidation(s, *reps)
 		if err != nil {

@@ -9,5 +9,5 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
-		"determfix", "cmdexempt", "obs", "serve")
+		"determfix", "cmdexempt", "obs", "serve", "dataset")
 }

@@ -170,6 +170,14 @@ type Link struct {
 	intfRxGain        [][][]float64
 	intfRxGainRxEpoch uint64
 
+	// intfLinArg/intfLinVal[i][path] memoize the last dB→linear conversion
+	// argument and result per interferer path. Off-axis beams see a path at
+	// the pattern floor, so the conversion argument repeats across most of
+	// the codebook during a noise-vector refill; dsp.Lin is pure, so serving
+	// an exact-argument hit is bit-identical to recomputing (see
+	// interferenceMw).
+	intfLinArg, intfLinVal [][]float64
+
 	// rxGeomEpoch advances when only the Rx orientation changes. The traced
 	// paths and Tx gains do not depend on it, so ensureGains refreshes just
 	// the Rx gain rows (see rebuildRxGains) instead of re-tracing.
@@ -179,6 +187,11 @@ type Link struct {
 	// gains, revalidated against the codebook on rebuild (see ensureFloorLin).
 	txFloorDB, txFloorLin []float64
 	rxFloorDB, rxFloorLin []float64
+
+	// txDirLin/rxDirLin cache linear beam-gain rows per exact (direction,
+	// orientation) key: path directions survive blockage and interference
+	// state changes, so gain rebuilds resolve to map hits (see dirGainsLin).
+	txDirLin, rxDirLin map[dirGainKey][]float64
 
 	// Cached linear thermal noise floor, keyed by noise figure (thermalMw).
 	thermalOK              bool

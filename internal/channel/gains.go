@@ -2,10 +2,9 @@ package channel
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"github.com/libra-wlan/libra/internal/dsp"
+	"github.com/libra-wlan/libra/internal/geom"
 	"github.com/libra-wlan/libra/internal/phased"
 )
 
@@ -68,6 +67,47 @@ func linGain(v float64, i int, floorDB, floorLin []float64) float64 {
 	return dsp.Lin(v)
 }
 
+// dirGainKey identifies a cached per-direction gain row: the exact world
+// direction a path departs or arrives along and the array orientation it was
+// evaluated under.
+type dirGainKey struct {
+	dir    geom.Vec
+	orient float64
+}
+
+// maxDirGainRows bounds each per-link direction cache; overflowing clears it,
+// which only costs recomputation — every cached row is a pure function of its
+// key.
+const maxDirGainRows = 4096
+
+// dirGainsLin returns the linear beam-gain row (the NumBeams pattern beams
+// plus the quasi-omni entry) of array a toward dir, serving repeats from
+// cache. Path directions repeat heavily across geometry epochs: a blockage
+// state keeps every path slot's direction and merely changes its loss, and an
+// interference calibration never moves an endpoint — so rebuild after rebuild
+// resolves to map hits instead of per-beam lobe evaluations and dB→linear
+// Pow calls. A cached row is a pure function of (pattern, orientation,
+// direction), so a hit is bit-identical to recomputation.
+func dirGainsLin(cache map[dirGainKey][]float64, a *phased.Array, dir geom.Vec, floorDB, floorLin []float64) []float64 {
+	k := dirGainKey{dir: dir, orient: a.OrientDeg}
+	if row, ok := cache[k]; ok {
+		obsDirGainHits.Inc()
+		return row
+	}
+	var dbBuf [phased.NumBeams]float64
+	row := make([]float64, phased.NumBeams+1)
+	qo := a.AllGainsDBi(dir, dbBuf[:])
+	for b := 0; b < phased.NumBeams; b++ {
+		row[b] = linGain(dbBuf[b], b, floorDB, floorLin)
+	}
+	row[phased.NumBeams] = linGain(qo, phased.NumBeams, floorDB, floorLin)
+	if len(cache) >= maxDirGainRows {
+		clear(cache)
+	}
+	cache[k] = row
+	return row
+}
+
 // ensureGains returns the gain tables for the current geometry and link
 // budget, rebuilding them when the geometry epoch advanced or the budget
 // fields changed. Rebuilds always allocate fresh slices so previously
@@ -90,32 +130,29 @@ func (l *Link) ensureGains() *gainTables {
 	g.txPowerDBm = l.TxPowerDBm
 	g.implLossDB = l.ImplLossDB
 	g.linBase = make([]float64, np)
-	g.txLin = make([][]float64, nb)
-	g.rxLin = make([][]float64, nb)
-	for b := 0; b < nb; b++ {
-		g.txLin[b] = make([]float64, np)
-		g.rxLin[b] = make([]float64, np)
-	}
+	g.txLin = gainRows(nb, np)
+	g.rxLin = gainRows(nb, np)
 	g.minDelayNs = math.Inf(1)
 
 	l.txFloorDB, l.txFloorLin = ensureFloorLin(l.Tx, l.txFloorDB, l.txFloorLin)
 	l.rxFloorDB, l.rxFloorLin = ensureFloorLin(l.Rx, l.rxFloorDB, l.rxFloorLin)
-	var dbBuf [phased.NumBeams]float64
+	if l.txDirLin == nil {
+		l.txDirLin = map[dirGainKey][]float64{}
+		l.rxDirLin = map[dirGainKey][]float64{}
+	}
 	for p, pa := range paths {
 		g.linBase[p] = dsp.Lin(l.TxPowerDBm - l.ImplLossDB - pa.LossDB)
 		if pa.DelayNs < g.minDelayNs {
 			g.minDelayNs = pa.DelayNs
 		}
-		qo := l.Tx.AllGainsDBi(pa.Depart, dbBuf[:])
-		for b := 0; b < phased.NumBeams; b++ {
-			g.txLin[b][p] = linGain(dbBuf[b], b, l.txFloorDB, l.txFloorLin)
+		row := dirGainsLin(l.txDirLin, l.Tx, pa.Depart, l.txFloorDB, l.txFloorLin)
+		for b := 0; b <= phased.NumBeams; b++ {
+			g.txLin[b][p] = row[b]
 		}
-		g.txLin[phased.NumBeams][p] = linGain(qo, phased.NumBeams, l.txFloorDB, l.txFloorLin)
-		qo = l.Rx.AllGainsDBi(pa.Arrive, dbBuf[:])
-		for b := 0; b < phased.NumBeams; b++ {
-			g.rxLin[b][p] = linGain(dbBuf[b], b, l.rxFloorDB, l.rxFloorLin)
+		row = dirGainsLin(l.rxDirLin, l.Rx, pa.Arrive, l.rxFloorDB, l.rxFloorLin)
+		for b := 0; b <= phased.NumBeams; b++ {
+			g.rxLin[b][p] = row[b]
 		}
-		g.rxLin[phased.NumBeams][p] = linGain(qo, phased.NumBeams, l.rxFloorDB, l.rxFloorLin)
 	}
 
 	l.gainsOK = true
@@ -134,18 +171,16 @@ func (l *Link) rebuildRxGains() {
 	g := &l.gains
 	np := len(g.paths)
 	nb := phased.NumBeams + 1
-	rx := make([][]float64, nb)
-	for b := 0; b < nb; b++ {
-		rx[b] = make([]float64, np)
-	}
+	rx := gainRows(nb, np)
 	l.rxFloorDB, l.rxFloorLin = ensureFloorLin(l.Rx, l.rxFloorDB, l.rxFloorLin)
-	var dbBuf [phased.NumBeams]float64
+	if l.rxDirLin == nil {
+		l.rxDirLin = map[dirGainKey][]float64{}
+	}
 	for p := range g.paths {
-		qo := l.Rx.AllGainsDBi(g.paths[p].Arrive, dbBuf[:])
-		for b := 0; b < phased.NumBeams; b++ {
-			rx[b][p] = linGain(dbBuf[b], b, l.rxFloorDB, l.rxFloorLin)
+		row := dirGainsLin(l.rxDirLin, l.Rx, g.paths[p].Arrive, l.rxFloorDB, l.rxFloorLin)
+		for b := 0; b <= phased.NumBeams; b++ {
+			rx[b][p] = row[b]
 		}
-		rx[phased.NumBeams][p] = linGain(qo, phased.NumBeams, l.rxFloorDB, l.rxFloorLin)
 	}
 	g.rxLin = rx
 	l.gainsRxEpoch = l.rxGeomEpoch
@@ -204,34 +239,16 @@ func (l *Link) thermalMw() float64 {
 	return l.thermalMwV
 }
 
-// parallelRows runs fn(i) for every i in [0, n) across up to GOMAXPROCS
-// goroutines in contiguous blocks. The iterations must be independent; fn
-// must not touch shared mutable state.
-func parallelRows(n int, fn func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// gainRows carves nb rows of np elements each out of one contiguous block:
+// nb+2 allocations become 2 (headers + block), the rows are cache-dense for
+// the blocked sweep kernels, and — because the block is freshly allocated on
+// every rebuild — previously handed-out rows (e.g. inside a Snapshot) stay
+// valid, preserving the aliasing contract of ensureGains.
+func gainRows(nb, np int) [][]float64 {
+	rows := make([][]float64, nb)
+	block := make([]float64, nb*np)
+	for b := 0; b < nb; b++ {
+		rows[b], block = block[:np:np], block[np:]
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			for i := start; i < end; i++ {
-				fn(i)
-			}
-		}(start, end)
-	}
-	wg.Wait()
+	return rows
 }

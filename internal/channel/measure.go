@@ -50,6 +50,14 @@ func (m *Measurement) CSI() []float64 {
 // ampPool recycles the tap-amplitude scratch of CSIInto.
 var ampPool = sync.Pool{New: func() any { return new([]float64) }}
 
+// maxPooledAmpCap bounds the backing capacity ampPool retains. A campaign
+// with oversized PDPs (longer than the standard PDPTaps window) would
+// otherwise pin its large scratch arrays in the pool forever: sync.Pool
+// keeps whatever is Put, and later campaigns with normal-sized PDPs would
+// re-slice the big arrays without ever releasing them. Buffers beyond the
+// cap are simply not returned to the pool.
+const maxPooledAmpCap = 4 * PDPTaps
+
 // CSIInto computes the CSI estimate into dst, growing it only when its
 // capacity is insufficient, and returns dst re-sliced to the spectrum
 // length. Together with pooled FFT scratch this keeps the featurization hot
@@ -69,8 +77,10 @@ func (m *Measurement) CSIInto(dst []float64) []float64 {
 		}
 	}
 	dst = dsp.FFTRealInto(dst, amp)
-	*ap = amp
-	ampPool.Put(ap)
+	if cap(amp) <= maxPooledAmpCap {
+		*ap = amp
+		ampPool.Put(ap)
+	}
 	return dst
 }
 
@@ -82,44 +92,22 @@ func (m *Measurement) CSIInto(dst []float64) []float64 {
 // cost O(paths) multiply-adds instead of O(paths) gain evaluations and
 // dB-to-linear conversions.
 func (l *Link) Measure(txBeam, rxBeam int) Measurement {
+	var m Measurement
+	l.MeasureInto(&m, txBeam, rxBeam)
+	return m
+}
+
+// MeasureInto computes the observation into m, reusing m.PDP's backing
+// array when its capacity suffices. Callers that own a scratch Measurement
+// and recycle it across calls (the campaign generator's per-worker arena)
+// measure without allocating; the values written are bit-identical to what
+// Measure returns.
+func (l *Link) MeasureInto(m *Measurement, txBeam, rxBeam int) {
 	obsMeasures.Inc()
 	g := l.ensureGains()
-	txRow := g.row(g.txLin, txBeam)
-	rxRow := g.row(g.rxLin, rxBeam)
-	noiseMw := l.noiseMwFor(rxBeam)
-
-	var totalMw float64
-	var bestMw float64
-	bestDelay := math.Inf(1)
-	pdp := make([]float64, PDPTaps)
-	if txRow != nil && rxRow != nil {
-		for p, pa := range g.paths {
-			mw := g.linBase[p] * txRow[p] * rxRow[p]
-			totalMw += mw
-			if mw > bestMw {
-				bestMw = mw
-				bestDelay = pa.DelayNs
-			}
-			bin := int((pa.DelayNs - g.minDelayNs) / PDPBinNs)
-			if bin >= 0 && bin < PDPTaps {
-				pdp[bin] += mw
-			}
-		}
-	}
-
-	rss := dsp.DB(totalMw)
-	noise := dsp.DB(noiseMw)
-	m := Measurement{
-		RSSdBm:   rss,
-		NoiseDBm: noise,
-		SNRdB:    rss - noise,
-		ToFNs:    bestDelay,
-		PDP:      pdp,
-	}
-	if rss < SensitivityDBm || math.IsInf(rss, -1) {
-		m.ToFNs = math.Inf(1)
-	}
-	return m
+	measureInto(m, g.paths, g.linBase,
+		g.row(g.txLin, txBeam), g.row(g.rxLin, rxBeam),
+		l.noiseMwFor(rxBeam), g.minDelayNs)
 }
 
 // interferenceMw returns the co-channel interference power (mW, time
@@ -145,6 +133,10 @@ func (l *Link) interferenceMw(rxBeam int) float64 {
 		}
 		l.intfRxGainRxEpoch = l.rxGeomEpoch
 	}
+	if l.intfLinArg == nil || len(l.intfLinArg) != len(l.Interferers) {
+		l.intfLinArg = make([][]float64, len(l.Interferers))
+		l.intfLinVal = make([][]float64, len(l.Interferers))
+	}
 	bi := beamIndex(rxBeam)
 	var total float64
 	for i, it := range l.Interferers {
@@ -160,6 +152,21 @@ func (l *Link) interferenceMw(rxBeam int) float64 {
 				l.intfRxGain[i][bi] = row
 			}
 		}
+		// Per-path last-argument memo for the dB→linear conversion: a refill
+		// walks the whole codebook, and a path's receive gain sits at the
+		// pattern floor for all but the few beams aimed near it, so the
+		// conversion argument repeats run-length-wise across beams. Exact
+		// argument equality on a pure function keeps the served value
+		// bit-identical to a fresh dsp.Lin call.
+		linArg, linVal := l.intfLinArg[i], l.intfLinVal[i]
+		if len(linArg) != len(paths) {
+			linArg = make([]float64, len(paths))
+			linVal = make([]float64, len(paths))
+			for p := range linArg {
+				linArg[p] = math.NaN() // never equal: force first-use computation
+			}
+			l.intfLinArg[i], l.intfLinVal[i] = linArg, linVal
+		}
 		for p := range paths {
 			gdb := 0.0
 			if row != nil {
@@ -168,7 +175,12 @@ func (l *Link) interferenceMw(rxBeam int) float64 {
 				gdb = l.Rx.GainDBi(rxBeam, paths[p].Arrive)
 			}
 			g := it.EIRPdBm + gdb - paths[p].LossDB
-			total += dsp.Lin(g) * it.DutyCycle
+			lin := linVal[p]
+			if g != linArg[p] {
+				lin = dsp.Lin(g)
+				linArg[p], linVal[p] = g, lin
+			}
+			total += lin * it.DutyCycle
 		}
 	}
 	return total
@@ -248,40 +260,20 @@ func (l *Link) SNRdB(txBeam, rxBeam int) float64 {
 //
 // Per-path antenna gains are memoized per beam and per geometric state (see
 // ensureGains), so the sweep costs O(N*paths) gain evaluations at most once
-// per state plus O(N^2*paths) multiply-adds; the Tx-beam outer loop fans out
-// across the available cores.
+// per state plus one pass of the fused sweepPowerInto kernel — a blocked
+// O(N^2*paths) multiply-add over the cached tables with pooled scratch and a
+// single contiguous result block (two allocations per call, both handed to
+// the caller).
 func (l *Link) Sweep() [][]float64 {
 	obsSweeps.Inc()
 	g := l.ensureGains()
-	n := phased.NumBeams
-
-	// Noise depends on the Rx beam (interference is directional). Resolve
-	// it before the fan-out: noiseMwFor mutates the per-link cache.
-	noiseDB := make([]float64, n)
-	for r := 0; r < n; r++ {
-		noiseDB[r] = dsp.DB(l.noiseMwFor(r))
+	sc := sweepPool.Get().(*sweepScratch)
+	sc.grow(len(g.linBase))
+	for r := 0; r < phased.NumBeams; r++ {
+		sc.noiseDB[r] = dsp.DB(l.noiseMwFor(r))
 	}
-
-	out := make([][]float64, n)
-	parallelRows(n, func(t int) {
-		row := make([]float64, n)
-		// Hoist the Tx-side product out of the Rx loop; the grouping
-		// (linBase*txGain)*rxGain matches the unhoisted accumulation.
-		txw := make([]float64, len(g.linBase))
-		txRow := g.txLin[t]
-		for p, base := range g.linBase {
-			txw[p] = base * txRow[p]
-		}
-		for r := 0; r < n; r++ {
-			var mw float64
-			rxRow := g.rxLin[r]
-			for p, w := range txw {
-				mw += w * rxRow[p]
-			}
-			row[r] = dsp.DB(mw) - noiseDB[r]
-		}
-		out[t] = row
-	})
+	out := sweepSNR(sc, g.linBase, g.txLin, g.rxLin)
+	sweepPool.Put(sc)
 	return out
 }
 
@@ -304,62 +296,14 @@ func (l *Link) BestPair() (txBeam, rxBeam int, snrDB float64) {
 	}
 	obsBestPairMisses.Inc()
 	g := l.ensureGains()
-	n := phased.NumBeams
-	txw := make([]float64, len(g.linBase))
-	var colMax [phased.NumBeams]float64
-	var colT [phased.NumBeams]int
-	for r := range colMax {
-		colMax[r] = -1
+	sc := sweepPool.Get().(*sweepScratch)
+	sc.grow(len(g.linBase))
+	sweepPowerInto(sc.pow, sc.txw, g.linBase, g.txLin, g.rxLin)
+	for r := 0; r < phased.NumBeams; r++ {
+		sc.noiseDB[r] = dsp.DB(l.noiseMwFor(r))
 	}
-	for t := 0; t < n; t++ {
-		txRow := g.txLin[t]
-		for p, base := range g.linBase {
-			txw[p] = base * txRow[p]
-		}
-		// Four Rx beams per iteration: each keeps its own accumulator chain
-		// in path order (bit-identical per beam), and the independent chains
-		// hide FP-add latency across beams.
-		r := 0
-		for ; r+4 <= n; r += 4 {
-			rx0, rx1, rx2, rx3 := g.rxLin[r], g.rxLin[r+1], g.rxLin[r+2], g.rxLin[r+3]
-			var m0, m1, m2, m3 float64
-			for p, w := range txw {
-				m0 += w * rx0[p]
-				m1 += w * rx1[p]
-				m2 += w * rx2[p]
-				m3 += w * rx3[p]
-			}
-			if m0 > colMax[r] {
-				colMax[r], colT[r] = m0, t
-			}
-			if m1 > colMax[r+1] {
-				colMax[r+1], colT[r+1] = m1, t
-			}
-			if m2 > colMax[r+2] {
-				colMax[r+2], colT[r+2] = m2, t
-			}
-			if m3 > colMax[r+3] {
-				colMax[r+3], colT[r+3] = m3, t
-			}
-		}
-		for ; r < n; r++ {
-			var mw float64
-			rxRow := g.rxLin[r]
-			for p, w := range txw {
-				mw += w * rxRow[p]
-			}
-			if mw > colMax[r] {
-				colMax[r], colT[r] = mw, t
-			}
-		}
-	}
-	snrDB = math.Inf(-1)
-	for r := 0; r < n; r++ {
-		s := dsp.DB(colMax[r]) - dsp.DB(l.noiseMwFor(r))
-		if s > snrDB || (s == snrDB && colT[r] < txBeam) {
-			snrDB, txBeam, rxBeam = s, colT[r], r
-		}
-	}
+	txBeam, rxBeam, snrDB = bestFromPow(sc.pow, sc.noiseDB)
+	sweepPool.Put(sc)
 	l.bestOK = true
 	l.bestEpoch = l.pathEpoch
 	l.bestNF, l.bestTxP, l.bestIL = l.NoiseFigureDB, l.TxPowerDBm, l.ImplLossDB

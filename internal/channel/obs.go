@@ -27,4 +27,6 @@ var (
 		"per-Rx-beam noise vector refills (epoch or noise-figure change)")
 	obsIntfTraces = obs.NewCounter("libra_channel_interferer_traces_total",
 		"interferer-to-Rx path re-traces (position or geometry change)")
+	obsDirGainHits = obs.NewCounter("libra_channel_dir_gain_row_hits_total",
+		"gain-table rows served from the per-direction cache during rebuilds")
 )

@@ -1,8 +1,6 @@
 package channel
 
 import (
-	"math"
-
 	"github.com/libra-wlan/libra/internal/dsp"
 	"github.com/libra-wlan/libra/internal/phased"
 )
@@ -68,35 +66,18 @@ func (s *Snapshot) NumPaths() int { return len(s.paths) }
 // state, identically to Link.Measure (minus stochastic measurement noise,
 // which the MAC layer adds).
 func (s *Snapshot) Measure(txBeam, rxBeam int) Measurement {
-	ti, ri := beamIndex(txBeam), beamIndex(rxBeam)
-	var totalMw, bestMw float64
-	bestDelay := math.Inf(1)
-	pdp := make([]float64, PDPTaps)
-	for p, pa := range s.paths {
-		mw := s.linBase[p] * s.txLin[ti][p] * s.rxLin[ri][p]
-		totalMw += mw
-		if mw > bestMw {
-			bestMw = mw
-			bestDelay = pa.DelayNs
-		}
-		bin := int((pa.DelayNs - s.minDelayNs) / PDPBinNs)
-		if bin >= 0 && bin < PDPTaps {
-			pdp[bin] += mw
-		}
-	}
-	rss := dsp.DB(totalMw)
-	noise := dsp.DB(s.noiseMw[ri])
-	m := Measurement{
-		RSSdBm:   rss,
-		NoiseDBm: noise,
-		SNRdB:    rss - noise,
-		ToFNs:    bestDelay,
-		PDP:      pdp,
-	}
-	if rss < SensitivityDBm || math.IsInf(rss, -1) {
-		m.ToFNs = math.Inf(1)
-	}
+	var m Measurement
+	s.MeasureInto(&m, txBeam, rxBeam)
 	return m
+}
+
+// MeasureInto computes the observation into m, reusing m.PDP's backing
+// array when its capacity suffices — the allocation-free counterpart of
+// Measure for callers that recycle a scratch Measurement.
+func (s *Snapshot) MeasureInto(m *Measurement, txBeam, rxBeam int) {
+	ti, ri := beamIndex(txBeam), beamIndex(rxBeam)
+	measureInto(m, s.paths, s.linBase, s.txLin[ti], s.rxLin[ri],
+		s.noiseMw[ri], s.minDelayNs)
 }
 
 // SNRdB returns the SNR of a beam pair.
@@ -109,39 +90,34 @@ func (s *Snapshot) SNRdB(txBeam, rxBeam int) float64 {
 	return dsp.DB(mw) - dsp.DB(s.noiseMw[ri])
 }
 
-// Sweep returns the full 25x25 SNR matrix. The Tx-beam outer loop fans out
-// across the available cores.
+// Sweep returns the full 25x25 SNR matrix via the fused sweepPowerInto
+// kernel: one blocked pass over the frozen gain tables with pooled scratch.
+// Hoisting the Tx-side product performs the same roundings as the historic
+// per-pair triple product, so the matrix is bit-identical to a naive scan.
+// Safe for concurrent use — snapshots are shared read-only across workers
+// and the scratch comes from a pool.
 func (s *Snapshot) Sweep() [][]float64 {
-	n := phased.NumBeams
-	noiseDB := make([]float64, n)
-	for r := 0; r < n; r++ {
-		noiseDB[r] = dsp.DB(s.noiseMw[r])
+	sc := sweepPool.Get().(*sweepScratch)
+	sc.grow(len(s.linBase))
+	for r := 0; r < phased.NumBeams; r++ {
+		sc.noiseDB[r] = dsp.DB(s.noiseMw[r])
 	}
-	out := make([][]float64, n)
-	parallelRows(n, func(t int) {
-		row := make([]float64, n)
-		for r := 0; r < n; r++ {
-			var mw float64
-			for p := range s.paths {
-				mw += s.linBase[p] * s.txLin[t][p] * s.rxLin[r][p]
-			}
-			row[r] = dsp.DB(mw) - noiseDB[r]
-		}
-		out[t] = row
-	})
+	out := sweepSNR(sc, s.linBase, s.txLin, s.rxLin)
+	sweepPool.Put(sc)
 	return out
 }
 
-// BestPair returns the beam pair maximizing SNR.
+// BestPair returns the beam pair maximizing SNR — the row-major winner of
+// Sweep, computed from per-column power maxima without materializing the dB
+// matrix (see bestFromPow).
 func (s *Snapshot) BestPair() (txBeam, rxBeam int, snrDB float64) {
-	snrDB = math.Inf(-1)
-	sweep := s.Sweep()
-	for t := range sweep {
-		for r := range sweep[t] {
-			if v := sweep[t][r]; v > snrDB {
-				snrDB, txBeam, rxBeam = v, t, r
-			}
-		}
+	sc := sweepPool.Get().(*sweepScratch)
+	sc.grow(len(s.linBase))
+	sweepPowerInto(sc.pow, sc.txw, s.linBase, s.txLin, s.rxLin)
+	for r := 0; r < phased.NumBeams; r++ {
+		sc.noiseDB[r] = dsp.DB(s.noiseMw[r])
 	}
+	txBeam, rxBeam, snrDB = bestFromPow(sc.pow, sc.noiseDB)
+	sweepPool.Put(sc)
 	return txBeam, rxBeam, snrDB
 }

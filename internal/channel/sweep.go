@@ -1,0 +1,163 @@
+package channel
+
+import (
+	"math"
+	"sync"
+
+	"github.com/libra-wlan/libra/internal/dsp"
+	"github.com/libra-wlan/libra/internal/phased"
+)
+
+// sweepScratch is the working set of one fused beam sweep: the hoisted
+// Tx-side weight vector, the NumBeams^2 received-power matrix, and the
+// per-Rx-beam noise in dB. Sweeps borrow one from sweepPool, so steady-state
+// sweeping allocates nothing beyond the caller-visible result.
+type sweepScratch struct {
+	txw     []float64
+	pow     []float64
+	noiseDB []float64
+}
+
+var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+// grow sizes the scratch for np paths, reusing prior capacity. Path counts
+// are bounded by the tracer (tens of rays), so retained capacity stays small
+// and the pool never pins a large backing array.
+func (sc *sweepScratch) grow(np int) {
+	n := phased.NumBeams
+	if cap(sc.txw) < np {
+		sc.txw = make([]float64, np)
+	}
+	sc.txw = sc.txw[:np]
+	if len(sc.pow) != n*n {
+		sc.pow = make([]float64, n*n)
+	}
+	if len(sc.noiseDB) != n {
+		sc.noiseDB = make([]float64, n)
+	}
+}
+
+// sweepPowerInto is the fused sector-sweep kernel: it fills pow[t*n+r] with
+// the received signal power (mW) of every Tx×Rx beam pair in one blocked
+// pass over the gain tables. The Tx-side product linBase[p]*txLin[t][p] is
+// hoisted once per Tx beam — the grouping (base*tx)*rx performs the exact
+// same two roundings as an unhoisted left-to-right product, so the result is
+// bit-identical to the naive triple loop. Four Rx beams advance per
+// iteration; each keeps its own accumulator chain in path order (the
+// per-pair FP addition order the determinism contract pins), and the four
+// independent chains hide FP-add latency.
+func sweepPowerInto(pow, txw, linBase []float64, txLin, rxLin [][]float64) {
+	n := phased.NumBeams
+	for t := 0; t < n; t++ {
+		txRow := txLin[t]
+		for p, base := range linBase {
+			txw[p] = base * txRow[p]
+		}
+		out := pow[t*n : t*n+n]
+		r := 0
+		for ; r+4 <= n; r += 4 {
+			rx0, rx1, rx2, rx3 := rxLin[r], rxLin[r+1], rxLin[r+2], rxLin[r+3]
+			var m0, m1, m2, m3 float64
+			for p, w := range txw {
+				m0 += w * rx0[p]
+				m1 += w * rx1[p]
+				m2 += w * rx2[p]
+				m3 += w * rx3[p]
+			}
+			out[r], out[r+1], out[r+2], out[r+3] = m0, m1, m2, m3
+		}
+		for ; r < n; r++ {
+			var mw float64
+			rxRow := rxLin[r]
+			for p, w := range txw {
+				mw += w * rxRow[p]
+			}
+			out[r] = mw
+		}
+	}
+}
+
+// sweepSNR converts the kernel's power matrix into the caller-visible
+// [txBeam][rxBeam] SNR matrix: one contiguous block re-sliced into rows, dB
+// conversion applied in place. Exactly two allocations per sweep — the row
+// headers and the block — both owned by the caller.
+func sweepSNR(sc *sweepScratch, linBase []float64, txLin, rxLin [][]float64) [][]float64 {
+	n := phased.NumBeams
+	block := make([]float64, n*n)
+	sweepPowerInto(block, sc.txw, linBase, txLin, rxLin)
+	out := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		row := block[t*n : (t+1)*n : (t+1)*n]
+		for r := 0; r < n; r++ {
+			row[r] = dsp.DB(row[r]) - sc.noiseDB[r]
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// bestFromPow scans the kernel's power matrix for the row-major SNR winner.
+// Within a column the noise is constant and dB conversion strictly monotone,
+// so the first Tx beam attaining the column's power maximum is the column's
+// row-major winner; across columns the lexicographically smallest (tx, rx)
+// among equal-SNR column winners matches a strict ">" scan of the full dB
+// matrix in row-major order. Only NumBeams dB conversions remain.
+func bestFromPow(pow, noiseDB []float64) (txBeam, rxBeam int, snrDB float64) {
+	n := phased.NumBeams
+	snrDB = math.Inf(-1)
+	for r := 0; r < n; r++ {
+		colMax, colT := -1.0, 0
+		for t := 0; t < n; t++ {
+			if v := pow[t*n+r]; v > colMax {
+				colMax, colT = v, t
+			}
+		}
+		s := dsp.DB(colMax) - noiseDB[r]
+		if s > snrDB || (s == snrDB && colT < txBeam) {
+			snrDB, txBeam, rxBeam = s, colT, r
+		}
+	}
+	return txBeam, rxBeam, snrDB
+}
+
+// measureInto computes one PHY observation from gain rows into m, reusing
+// m.PDP's backing array when its capacity suffices — the allocation-free
+// path campaign generation runs per sample. A nil gain row (out-of-codebook
+// beam) contributes zero power, matching Link.Measure's historic behaviour.
+// The per-path accumulation runs in path order: the FP addition order is
+// part of the byte-identical output contract.
+func measureInto(m *Measurement, paths []Path, linBase, txRow, rxRow []float64, noiseMw, minDelayNs float64) {
+	var totalMw, bestMw float64
+	bestDelay := math.Inf(1)
+	pdp := m.PDP
+	if cap(pdp) < PDPTaps {
+		pdp = make([]float64, PDPTaps)
+	} else {
+		pdp = pdp[:PDPTaps]
+		clear(pdp)
+	}
+	if txRow != nil && rxRow != nil {
+		for p, pa := range paths {
+			mw := linBase[p] * txRow[p] * rxRow[p]
+			totalMw += mw
+			if mw > bestMw {
+				bestMw = mw
+				bestDelay = pa.DelayNs
+			}
+			bin := int((pa.DelayNs - minDelayNs) / PDPBinNs)
+			if bin >= 0 && bin < PDPTaps {
+				pdp[bin] += mw
+			}
+		}
+	}
+	rss := dsp.DB(totalMw)
+	noise := dsp.DB(noiseMw)
+	m.RSSdBm = rss
+	m.NoiseDBm = noise
+	m.SNRdB = rss - noise
+	m.ToFNs = bestDelay
+	m.PDP = pdp
+	if rss < SensitivityDBm || math.IsInf(rss, -1) {
+		m.ToFNs = math.Inf(1)
+	}
+}

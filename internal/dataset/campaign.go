@@ -24,6 +24,11 @@ type Site struct {
 type Campaign struct {
 	Dataset
 	Sites []Site
+
+	// cols caches the SoA view of the entries (see Columns). Campaigns out
+	// of the columnar generator carry it from birth; loaded or filtered
+	// campaigns build it on first use.
+	cols *ColumnStore
 }
 
 // SiteCount returns the number of distinct measurement positions for an
@@ -83,11 +88,22 @@ type generator struct {
 	rng      *rand.Rand
 	building string
 	camp     *Campaign
-	posSeq   map[string]int
+	// cols accumulates the spec's samples column-wise: collect writes every
+	// field of an entry straight into the pooled column chunks, so no
+	// per-entry heap object exists until the merged campaign materializes
+	// its row view in one slab.
+	cols   *ColumnStore
+	posSeq map[string]int
 	// trace is the spec's simulation-time stream (nil-safe when tracing is
 	// off); frame is the per-generator observation index used as its stamp.
 	trace *obs.Stream
 	frame int64
+	// Scratch measurements recycled across entries: the re-measurement on
+	// the initial pair, the two drift-perturbed observation windows, and the
+	// NA twin's ground truth. Their PDP backing arrays are reused by
+	// MeasureInto/perturbInto, so steady-state collection allocates nothing
+	// per sample.
+	mNew, mPertA, mPertB, mNA channel.Measurement
 }
 
 func newGenerator(seed int64, building, name string) *generator {
@@ -95,6 +111,7 @@ func newGenerator(seed int64, building, name string) *generator {
 		rng:      rand.New(rand.NewSource(seed)),
 		building: building,
 		camp:     &Campaign{Dataset: Dataset{Name: name}},
+		cols:     newColumnStore(),
 		posSeq:   map[string]int{},
 	}
 }
@@ -131,28 +148,32 @@ func measureInit(l *channel.Link, posID int) *initState {
 }
 
 // collect builds one labeled entry for the link's *current* (impaired) state
-// against the given initial state, and its NA augmentation twin.
+// against the given initial state, and its NA augmentation twin. Entries are
+// stack-resident and pushed field-wise onto the generator's column store;
+// the measurements run through the generator's scratch Measurements — no
+// per-sample heap allocation. The RNG draw order (perturb init window,
+// perturb new window, CDR sample) matches the historic row-wise path draw
+// for draw, so the output is bit-identical to it.
 func (g *generator) collect(l *channel.Link, init *initState, envName string, im Impairment, posID int) {
-	newInitPair := l.Measure(init.txBeam, init.rxBeam)
+	l.MeasureInto(&g.mNew, init.txBeam, init.rxBeam)
 	_, _, bestSNR := l.BestPair()
 
-	e := &Entry{
+	e := Entry{
 		Env:            envName,
 		Building:       g.building,
 		Impairment:     im,
 		PosID:          posID,
 		InitMCS:        init.mcs,
 		InitSNRdB:      init.snrDB,
-		NewSNRInitPair: newInitPair.SNRdB,
+		NewSNRInitPair: g.mNew.SNRdB,
 		NewSNRBestPair: bestSNR,
 		InitThBps:      init.thBps,
 	}
-	e.Features = Featurize(
-		perturb(init.meas, defaultDrift, g.rng),
-		perturb(newInitPair, defaultDrift, g.rng),
-		init.mcs, g.rng)
-	groundTruth(e)
-	g.camp.Entries = append(g.camp.Entries, e)
+	perturbInto(&g.mPertA, &init.meas, defaultDrift, g.rng)
+	perturbInto(&g.mPertB, &g.mNew, defaultDrift, g.rng)
+	e.Features = Featurize(g.mPertA, g.mPertB, init.mcs, g.rng)
+	groundTruth(&e)
+	g.cols.appendEntry(&e)
 	obsCampEntries.Add(2) // the entry plus its NA twin below
 	if g.trace.Enabled() {
 		t := obs.SimTime{Frame: g.frame}
@@ -167,30 +188,33 @@ func (g *generator) collect(l *channel.Link, init *initState, envName string, im
 
 	// NA augmentation (§7): the best beam pair and MCS at the new state,
 	// observed over two consecutive windows with only environmental drift.
-	naInit := measureInit(l, posID)
-	na := &Entry{
+	// BestPair is a cache hit (collect just computed it at this state), so
+	// the twin costs one measurement into scratch.
+	naT, naR, naSNR := l.BestPair()
+	l.MeasureInto(&g.mNA, naT, naR)
+	naMCS, naTh := phy.BestMCS(naSNR)
+	na := Entry{
 		Env:            envName,
 		Building:       g.building,
 		Impairment:     NoImpairment,
 		PosID:          posID,
-		InitMCS:        naInit.mcs,
-		InitSNRdB:      naInit.snrDB,
-		NewSNRInitPair: naInit.snrDB,
-		NewSNRBestPair: naInit.snrDB,
-		InitThBps:      naInit.thBps,
+		InitMCS:        naMCS,
+		InitSNRdB:      naSNR,
+		NewSNRInitPair: naSNR,
+		NewSNRBestPair: naSNR,
+		InitThBps:      naTh,
 		Label:          ActNA,
 	}
-	na.Features = Featurize(
-		perturb(naInit.meas, defaultDrift, g.rng),
-		perturb(naInit.meas, defaultDrift, g.rng),
-		naInit.mcs, g.rng)
+	perturbInto(&g.mPertA, &g.mNA, defaultDrift, g.rng)
+	perturbInto(&g.mPertB, &g.mNA, defaultDrift, g.rng)
+	na.Features = Featurize(g.mPertA, g.mPertB, naMCS, g.rng)
 	for m := phy.MinMCS; m <= phy.MaxMCS; m++ {
-		na.InitBeamTh[m] = phy.ExpectedThroughput(m, naInit.snrDB)
+		na.InitBeamTh[m] = phy.ExpectedThroughput(m, naSNR)
 		na.BestBeamTh[m] = na.InitBeamTh[m]
 	}
-	na.ThRABps = naInit.thBps
-	na.ThBABps = naInit.thBps
-	g.camp.Entries = append(g.camp.Entries, na)
+	na.ThRABps = naTh
+	na.ThBABps = naTh
+	g.cols.appendEntry(&na)
 }
 
 // newLink builds the link for a spec with deterministic array codebooks.

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"sync"
+
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+// ColumnStore is the structure-of-arrays view of a campaign: every Entry
+// field lives in its own contiguous column, indexed by sample. The generator
+// appends each sample's fields straight into its per-spec store (no per-entry
+// heap object), spec stores concatenate in spec order at merge, and the
+// columns feed three consumers without re-layout: the libra-ds v1 chunk
+// writer (columns are already the on-disk shape), ml training (the tree
+// builder presorts from contiguous columns), and Entry materialization (one
+// slab, one pass).
+//
+// Env and Building are dictionary-encoded: the column stores an index into
+// Names, so the per-sample payload is fixed-width — the property the binary
+// format's chunk framing relies on.
+type ColumnStore struct {
+	// Names is the string dictionary backing the Env and Bld columns.
+	Names []string
+	// Env and Bld index Names per sample.
+	Env, Bld []uint16
+	// Imp is the Impairment per sample; Label the ground-truth Action.
+	Imp, Label []uint8
+	// Pos is the position ID per sample.
+	Pos []int32
+	// InitMCS is the initial-state MCS per sample.
+	InitMCS []uint8
+	// Feat holds the feature columns in Table 3 order.
+	Feat [NumFeatures][]float64
+	// Scalar SNR/throughput columns, one value per sample.
+	InitSNR, NewSNRInit, NewSNRBest []float64
+	InitTh, ThRA, ThBA              []float64
+	// InitBeamTh[m] and BestBeamTh[m] are the per-MCS replay-table columns.
+	InitBeamTh, BestBeamTh [phy.NumMCS][]float64
+
+	nameIdx map[string]uint16
+}
+
+// colPool recycles per-spec stores: generation borrows one per spec, the
+// merge copies its columns out, and the store returns here with capacity
+// intact — so steady-state campaign generation reuses the same column chunks
+// instead of growing fresh ones per spec.
+var colPool = sync.Pool{New: func() any { return new(ColumnStore) }}
+
+// newColumnStore returns an empty store, reusing pooled column capacity.
+func newColumnStore() *ColumnStore {
+	s := colPool.Get().(*ColumnStore)
+	s.reset()
+	return s
+}
+
+// free returns a store's column chunks to the pool. The caller must not
+// touch the store afterwards.
+func (s *ColumnStore) free() { colPool.Put(s) }
+
+// reset truncates every column, keeping backing capacity.
+func (s *ColumnStore) reset() {
+	s.Names = s.Names[:0]
+	s.Env = s.Env[:0]
+	s.Bld = s.Bld[:0]
+	s.Imp = s.Imp[:0]
+	s.Label = s.Label[:0]
+	s.Pos = s.Pos[:0]
+	s.InitMCS = s.InitMCS[:0]
+	for f := range s.Feat {
+		s.Feat[f] = s.Feat[f][:0]
+	}
+	s.InitSNR = s.InitSNR[:0]
+	s.NewSNRInit = s.NewSNRInit[:0]
+	s.NewSNRBest = s.NewSNRBest[:0]
+	s.InitTh = s.InitTh[:0]
+	s.ThRA = s.ThRA[:0]
+	s.ThBA = s.ThBA[:0]
+	for m := range s.InitBeamTh {
+		s.InitBeamTh[m] = s.InitBeamTh[m][:0]
+		s.BestBeamTh[m] = s.BestBeamTh[m][:0]
+	}
+	for k := range s.nameIdx {
+		delete(s.nameIdx, k)
+	}
+}
+
+// Len returns the number of samples in the store.
+func (s *ColumnStore) Len() int { return len(s.Imp) }
+
+// intern returns the dictionary index of name, adding it on first use.
+func (s *ColumnStore) intern(name string) uint16 {
+	if s.nameIdx == nil {
+		s.nameIdx = map[string]uint16{}
+	}
+	if i, ok := s.nameIdx[name]; ok {
+		return i
+	}
+	i := uint16(len(s.Names))
+	s.Names = append(s.Names, name)
+	s.nameIdx[name] = i
+	return i
+}
+
+// appendEntry pushes one sample's fields onto the columns.
+func (s *ColumnStore) appendEntry(e *Entry) {
+	s.Env = append(s.Env, s.intern(e.Env))
+	s.Bld = append(s.Bld, s.intern(e.Building))
+	s.Imp = append(s.Imp, uint8(e.Impairment))
+	s.Label = append(s.Label, uint8(e.Label))
+	s.Pos = append(s.Pos, int32(e.PosID))
+	s.InitMCS = append(s.InitMCS, uint8(e.InitMCS))
+	for f := 0; f < NumFeatures; f++ {
+		s.Feat[f] = append(s.Feat[f], e.Features[f])
+	}
+	s.InitSNR = append(s.InitSNR, e.InitSNRdB)
+	s.NewSNRInit = append(s.NewSNRInit, e.NewSNRInitPair)
+	s.NewSNRBest = append(s.NewSNRBest, e.NewSNRBestPair)
+	s.InitTh = append(s.InitTh, e.InitThBps)
+	s.ThRA = append(s.ThRA, e.ThRABps)
+	s.ThBA = append(s.ThBA, e.ThBABps)
+	for m := 0; m < phy.NumMCS; m++ {
+		s.InitBeamTh[m] = append(s.InitBeamTh[m], e.InitBeamTh[m])
+		s.BestBeamTh[m] = append(s.BestBeamTh[m], e.BestBeamTh[m])
+	}
+}
+
+// writeEntry reconstructs sample i into e. The round trip through
+// appendEntry/writeEntry is exact: every float keeps its bit pattern, every
+// enum its value.
+func (s *ColumnStore) writeEntry(i int, e *Entry) {
+	e.Env = s.Names[s.Env[i]]
+	e.Building = s.Names[s.Bld[i]]
+	e.Impairment = Impairment(s.Imp[i])
+	e.Label = Action(s.Label[i])
+	e.PosID = int(s.Pos[i])
+	e.InitMCS = phy.MCS(s.InitMCS[i])
+	for f := 0; f < NumFeatures; f++ {
+		e.Features[f] = s.Feat[f][i]
+	}
+	e.InitSNRdB = s.InitSNR[i]
+	e.NewSNRInitPair = s.NewSNRInit[i]
+	e.NewSNRBestPair = s.NewSNRBest[i]
+	e.InitThBps = s.InitTh[i]
+	e.ThRABps = s.ThRA[i]
+	e.ThBABps = s.ThBA[i]
+	for m := 0; m < phy.NumMCS; m++ {
+		e.InitBeamTh[m] = s.InitBeamTh[m][i]
+		e.BestBeamTh[m] = s.BestBeamTh[m][i]
+	}
+}
+
+// appendStore concatenates t's samples onto s, remapping t's dictionary
+// indices into s's dictionary. Sample order is preserved — the merge in
+// generateCtx calls this in spec order, so the concatenated store is
+// identical for any worker count.
+func (s *ColumnStore) appendStore(t *ColumnStore) {
+	remap := make([]uint16, len(t.Names))
+	for i, name := range t.Names {
+		remap[i] = s.intern(name)
+	}
+	for _, v := range t.Env {
+		s.Env = append(s.Env, remap[v])
+	}
+	for _, v := range t.Bld {
+		s.Bld = append(s.Bld, remap[v])
+	}
+	s.Imp = append(s.Imp, t.Imp...)
+	s.Label = append(s.Label, t.Label...)
+	s.Pos = append(s.Pos, t.Pos...)
+	s.InitMCS = append(s.InitMCS, t.InitMCS...)
+	for f := 0; f < NumFeatures; f++ {
+		s.Feat[f] = append(s.Feat[f], t.Feat[f]...)
+	}
+	s.InitSNR = append(s.InitSNR, t.InitSNR...)
+	s.NewSNRInit = append(s.NewSNRInit, t.NewSNRInit...)
+	s.NewSNRBest = append(s.NewSNRBest, t.NewSNRBest...)
+	s.InitTh = append(s.InitTh, t.InitTh...)
+	s.ThRA = append(s.ThRA, t.ThRA...)
+	s.ThBA = append(s.ThBA, t.ThBA...)
+	for m := 0; m < phy.NumMCS; m++ {
+		s.InitBeamTh[m] = append(s.InitBeamTh[m], t.InitBeamTh[m]...)
+		s.BestBeamTh[m] = append(s.BestBeamTh[m], t.BestBeamTh[m]...)
+	}
+}
+
+// materialize builds the campaign's row view from the columns: all entries
+// in one slab, one pointer slice on top — two allocations for the whole
+// campaign instead of one per entry.
+func (s *ColumnStore) materialize() []*Entry {
+	n := s.Len()
+	slab := make([]Entry, n)
+	out := make([]*Entry, n)
+	for i := 0; i < n; i++ {
+		s.writeEntry(i, &slab[i])
+		out[i] = &slab[i]
+	}
+	return out
+}
+
+// Columns returns the campaign's SoA view, building and caching it from the
+// entries when the campaign did not come out of the columnar generator (a
+// JSON load, a filter). The cache is invalidated by length mismatch only:
+// campaign entries are immutable once generated.
+func (c *Campaign) Columns() *ColumnStore {
+	if c.cols != nil && c.cols.Len() == len(c.Entries) {
+		return c.cols
+	}
+	s := newColumnStore()
+	for _, e := range c.Entries {
+		s.appendEntry(e)
+	}
+	c.cols = s
+	return s
+}

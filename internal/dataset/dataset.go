@@ -163,7 +163,10 @@ func (d *Dataset) Filter(im Impairment) []*Entry {
 
 // ToML converts to an ml.Dataset. With threeClass false, NA entries are
 // skipped and labels are {BA=0, RA=1}; with threeClass true, NA entries are
-// included as class 2.
+// included as class 2. The feature matrix is built as one contiguous
+// row-major block plus a column-major mirror attached via SetColumns, so the
+// tree builder's presort reads contiguous columns — constant allocations for
+// the whole conversion instead of one per row.
 func (d *Dataset) ToML(threeClass bool) *ml.Dataset {
 	out := &ml.Dataset{
 		FeatureNames: FeatureNames,
@@ -172,12 +175,37 @@ func (d *Dataset) ToML(threeClass bool) *ml.Dataset {
 	if threeClass {
 		out.ClassNames = []string{"BA", "RA", "NA"}
 	}
+	n := 0
 	for _, e := range d.Entries {
 		if e.Label == ActNA && !threeClass {
 			continue
 		}
-		out.Append(e.FeatureSlice(), int(e.Label))
+		n++
 	}
+	block := make([]float64, n*NumFeatures)
+	out.X = make([][]float64, n)
+	out.Y = make([]int, n)
+	i := 0
+	for _, e := range d.Entries {
+		if e.Label == ActNA && !threeClass {
+			continue
+		}
+		row := block[i*NumFeatures : (i+1)*NumFeatures : (i+1)*NumFeatures]
+		copy(row, e.Features[:])
+		out.X[i] = row
+		out.Y[i] = int(e.Label)
+		i++
+	}
+	colBlock := make([]float64, n*NumFeatures)
+	cols := make([][]float64, NumFeatures)
+	for f := 0; f < NumFeatures; f++ {
+		col := colBlock[f*n : (f+1)*n : (f+1)*n]
+		for j := 0; j < n; j++ {
+			col[j] = out.X[j][f]
+		}
+		cols[f] = col
+	}
+	out.SetColumns(cols)
 	return out
 }
 
@@ -233,21 +261,38 @@ type drift struct {
 
 var defaultDrift = drift{snrSigma: 0.4, noiseSigma: 1.0, pdpSigma: 0.15}
 
-// perturb returns a drifted copy of a measurement.
-func perturb(m channel.Measurement, d drift, rng *rand.Rand) channel.Measurement {
-	out := m
+// perturbInto writes a drifted copy of m into out, reusing out's PDP backing
+// when it is large enough. The RNG draw order — SNR, noise, then one draw per
+// strictly positive tap — is the contract the campaign digests pin; it must
+// match perturb's historic order exactly. out must not alias m.
+func perturbInto(out, m *channel.Measurement, d drift, rng *rand.Rand) {
+	pdp := out.PDP
+	*out = *m
+	if cap(pdp) < len(m.PDP) {
+		pdp = make([]float64, len(m.PDP))
+	} else {
+		pdp = pdp[:len(m.PDP)]
+	}
+	out.PDP = pdp
 	out.SNRdB += rng.NormFloat64() * d.snrSigma
 	out.NoiseDBm += rng.NormFloat64() * d.noiseSigma
-	out.PDP = make([]float64, len(m.PDP))
 	for i, v := range m.PDP {
 		if v > 0 {
-			out.PDP[i] = v * math.Exp(rng.NormFloat64()*d.pdpSigma)
+			pdp[i] = v * math.Exp(rng.NormFloat64()*d.pdpSigma)
+		} else {
+			pdp[i] = 0
 		}
 	}
 	// ToF quantization to the 0.5 ns delay resolution.
 	if !math.IsInf(out.ToFNs, 1) {
 		out.ToFNs = math.Round(out.ToFNs/channel.PDPBinNs) * channel.PDPBinNs
 	}
+}
+
+// perturb returns a drifted copy of a measurement.
+func perturb(m channel.Measurement, d drift, rng *rand.Rand) channel.Measurement {
+	var out channel.Measurement
+	perturbInto(&out, &m, d, rng)
 	return out
 }
 

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+// Digest returns the canonical SHA-256 of the campaign: every entry field in
+// entry order followed by the site registry, all numbers little-endian with
+// float bit patterns taken verbatim. Two campaigns share a digest exactly
+// when they are bit-identical, so the digest is the currency of the
+// byte-identical-for-any-worker-count contract — tests pin the fixed-seed
+// values, CI compares it across worker counts, and the libra-ds footer
+// embeds it so an on-disk campaign proves its provenance.
+func (c *Campaign) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	u64(uint64(len(c.Entries)))
+	for _, e := range c.Entries {
+		str(e.Env)
+		str(e.Building)
+		h.Write([]byte{byte(e.Impairment)})
+		u64(uint64(int64(e.PosID)))
+		for _, f := range e.Features {
+			f64(f)
+		}
+		h.Write([]byte{byte(e.InitMCS), byte(e.Label)})
+		f64(e.InitSNRdB)
+		f64(e.NewSNRInitPair)
+		f64(e.NewSNRBestPair)
+		f64(e.InitThBps)
+		f64(e.ThRABps)
+		f64(e.ThBABps)
+		for m := 0; m < phy.NumMCS; m++ {
+			f64(e.InitBeamTh[m])
+			f64(e.BestBeamTh[m])
+		}
+	}
+	u64(uint64(len(c.Sites)))
+	for _, s := range c.Sites {
+		str(s.Env)
+		h.Write([]byte{byte(s.Impairment)})
+		u64(uint64(int64(s.PosID)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,43 @@
+//go:build linux
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openLDSBytes maps the file read-only and returns its bytes plus a release
+// function. ReadLDS copies everything it keeps out of the image, so the
+// mapping is released as soon as decoding finishes — the reader never pulls
+// the whole file through the Go heap.
+func openLDSBytes(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("dataset: %s: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Mapping can fail on filesystems without mmap support; fall back to
+		// a plain read.
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return b, func() {}, nil
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

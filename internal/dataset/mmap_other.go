@@ -1,0 +1,15 @@
+//go:build !linux
+
+package dataset
+
+import "os"
+
+// openLDSBytes reads the whole file; non-Linux platforms skip the mmap fast
+// path and decode from a heap copy.
+func openLDSBytes(path string) ([]byte, func(), error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() {}, nil
+}

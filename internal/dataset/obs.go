@@ -13,4 +13,10 @@ var (
 		"displacement specs executed")
 	obsCampEntries = obs.NewCounter("libra_dataset_campaign_entries_total",
 		"labeled entries generated (including NA augmentation twins)")
+	obsLDSChunks = obs.NewCounter("libra_dataset_lds_chunks_written_total",
+		"libra-ds column chunks encoded and written")
+	obsLDSBytes = obs.NewCounter("libra_dataset_lds_bytes_written_total",
+		"libra-ds bytes written (frames, payloads, footer, trailer)")
+	obsLDSChunksRead = obs.NewCounter("libra_dataset_lds_chunks_read_total",
+		"libra-ds column chunks verified and decoded")
 )

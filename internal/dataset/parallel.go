@@ -129,10 +129,17 @@ func generateCtx(ctx context.Context, seed int64, building, name string, specs [
 		return nil, err
 	}
 
+	// Per-spec column chunks concatenate in spec order into one campaign
+	// store (identical for any worker count), the chunks return to the pool,
+	// and the row view materializes from the columns in one slab.
 	camp := &Campaign{Dataset: Dataset{Name: name}}
+	cols := newColumnStore()
 	for _, g := range subs {
-		camp.Entries = append(camp.Entries, g.camp.Entries...)
+		cols.appendStore(g.cols)
 		camp.Sites = append(camp.Sites, g.camp.Sites...)
+		g.cols.free()
 	}
+	camp.cols = cols
+	camp.Entries = cols.materialize()
 	return camp, nil
 }

@@ -73,17 +73,31 @@ func FFT(x []complex128) error {
 	}
 	// Danielson-Lanczos butterflies with precomputed twiddle factors: the
 	// stage with butterfly span `length` uses every (n/length)-th entry of
-	// the n-point table.
+	// the n-point table. Every j==0 butterfly has twiddle exp(-0i) = 1, so
+	// its multiply is elided — for finite inputs the product differs from
+	// the operand at most in the sign of zero-valued components, which no
+	// add/multiply chain or magnitude downstream can surface. The whole
+	// first stage is j==0 butterflies, so it runs as a dedicated
+	// multiply-free pass; later stages peel j==0 out of the inner loop.
+	for i := 0; i < n; i += 2 {
+		u, v := x[i], x[i+1]
+		x[i] = u + v
+		x[i+1] = u - v
+	}
 	tw := twiddleTable(n)
-	for length := 2; length <= n; length <<= 1 {
+	for length := 4; length <= n; length <<= 1 {
 		half := length >> 1
 		stride := n / length
 		for i := 0; i < n; i += length {
-			for j := 0; j < half; j++ {
-				u := x[i+j]
-				v := x[i+j+half] * tw[j*stride]
-				x[i+j] = u + v
-				x[i+j+half] = u - v
+			blk := x[i : i+length : i+length]
+			u, v := blk[0], blk[half]
+			blk[0] = u + v
+			blk[half] = u - v
+			for j := 1; j < half; j++ {
+				u := blk[j]
+				v := blk[j+half] * tw[j*stride]
+				blk[j] = u + v
+				blk[j+half] = u - v
 			}
 		}
 	}

@@ -44,6 +44,20 @@ func (s *Suite) Main() *dataset.Campaign {
 	return s.mainCamp
 }
 
+// UseMain injects a pre-built main campaign — typically one loaded from a
+// libra-ds file — in place of in-process generation. First call wins: it must
+// run before anything touches Main(), and later calls (or generation) are
+// no-ops.
+func (s *Suite) UseMain(c *dataset.Campaign) {
+	s.mainOnce.Do(func() { s.mainCamp = c })
+}
+
+// UseTest injects the test campaign under the same first-call-wins contract
+// as UseMain.
+func (s *Suite) UseTest(c *dataset.Campaign) {
+	s.testOnce.Do(func() { s.testCamp = c })
+}
+
 // Test returns the testing campaign (Table 2), generating it once.
 func (s *Suite) Test() *dataset.Campaign {
 	s.testOnce.Do(func() { s.testCamp = dataset.GenerateTest(s.Seed + 1) })

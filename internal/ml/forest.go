@@ -79,11 +79,7 @@ func (f *RandomForest) Fit(d *Dataset) error {
 	if workers > numTrees {
 		workers = numTrees
 	}
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
+	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -99,18 +95,14 @@ func (f *RandomForest) Fit(d *Dataset) error {
 				}
 				obsFitWorkers.Inc()
 				sw := obs.StartTimer()
-				err := tree.Fit(d.Subset(boots[t]))
+				// The bootstrap fits through the indexed path: no subset
+				// materialization, and when d carries a column mirror the
+				// presort reads contiguous columns. Bit-identical to
+				// tree.Fit(d.Subset(boots[t])); d was validated above.
+				tree.fitIndexed(d, boots[t])
 				sw.Observe(obsTreeFitSeconds)
 				obsTreeFits.Inc()
 				obsFitWorkers.Dec()
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					continue
-				}
 				trees[t] = tree
 			}
 		}()
@@ -120,9 +112,6 @@ func (f *RandomForest) Fit(d *Dataset) error {
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
 
 	f.trees = trees
 	f.importance = make([]float64, d.NumFeatures())

@@ -111,18 +111,42 @@ func (t *DecisionTree) Fit(d *Dataset) error {
 	}
 	t.nFeatures = d.NumFeatures()
 	t.nSamples = d.Len()
+	t.fit(d, nil, maxDepth, minLeaf)
+	return nil
+}
+
+// fitIndexed fits the tree on the rows of d selected by idx (with
+// repetition — a bootstrap sample), without materializing the subset. The
+// fitted tree is bit-identical to Fit(d.Subset(idx)): the builder reads the
+// same values in the same order, it just indexes into d directly — and from
+// the column-major mirror when one is attached. The caller has already
+// validated d.
+func (t *DecisionTree) fitIndexed(d *Dataset, idx []int) {
+	maxDepth := t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	minLeaf := t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	t.nFeatures = d.NumFeatures()
+	t.nSamples = len(idx)
+	t.fit(d, idx, maxDepth, minLeaf)
+}
+
+func (t *DecisionTree) fit(d *Dataset, idx []int, maxDepth, minLeaf int) {
 	nc := d.NumClasses()
 	if nc < 2 {
 		nc = 2
 	}
 	b := treeBuilderPool.Get().(*treeBuilder)
-	b.init(d, maxDepth, minLeaf, t.Criterion, t.MaxFeatures, t.Rng, nc)
-	t.root = b.build(0, d.Len(), 0)
+	b.init(d, idx, maxDepth, minLeaf, t.Criterion, t.MaxFeatures, t.Rng, nc)
+	t.root = b.build(0, b.nSamples, 0)
 	t.importance = make([]float64, t.nFeatures)
 	copy(t.importance, b.importance)
 	b.release()
 	t.flat = compileTree(t.root)
-	return nil
 }
 
 // sortedSample is one (value, label, sample) triple of a presorted feature
@@ -137,7 +161,6 @@ type sortedSample struct {
 // presorted per-feature columns, and reusable scratch. Builders are pooled so
 // a forest fit reuses the same buffers across trees.
 type treeBuilder struct {
-	x          [][]float64
 	maxDepth   int
 	minLeaf    int
 	maxFeat    int
@@ -161,10 +184,18 @@ type treeBuilder struct {
 
 var treeBuilderPool = sync.Pool{New: func() any { return new(treeBuilder) }}
 
-func (b *treeBuilder) init(d *Dataset, maxDepth, minLeaf int, crit Criterion, maxFeat int, rng *rand.Rand, numClasses int) {
+// init presorts the feature columns for one fit. With idx nil the builder
+// covers every row of d; otherwise it covers the rows idx selects (a
+// bootstrap sample, repetitions allowed), without materializing the subset.
+// When d carries a column-major mirror the presort fills from contiguous
+// column memory; either way the (value, label, position) triples — and hence
+// every downstream split — are identical to a row-wise fill.
+func (b *treeBuilder) init(d *Dataset, idx []int, maxDepth, minLeaf int, crit Criterion, maxFeat int, rng *rand.Rand, numClasses int) {
 	n := d.Len()
+	if idx != nil {
+		n = len(idx)
+	}
 	nf := d.NumFeatures()
-	b.x = d.X
 	b.maxDepth = maxDepth
 	b.minLeaf = minLeaf
 	b.maxFeat = maxFeat
@@ -177,14 +208,32 @@ func (b *treeBuilder) init(d *Dataset, maxDepth, minLeaf int, crit Criterion, ma
 		b.cols = make([][]sortedSample, nf)
 	}
 	b.cols = b.cols[:nf]
+	dc := d.cols
 	for f := 0; f < nf; f++ {
 		if cap(b.cols[f]) < n {
 			b.cols[f] = make([]sortedSample, n)
 		}
 		col := b.cols[f][:n]
 		b.cols[f] = col
-		for i := 0; i < n; i++ {
-			col[i] = sortedSample{v: d.X[i][f], y: int32(d.Y[i]), i: int32(i)}
+		switch {
+		case idx == nil && dc != nil:
+			src := dc[f]
+			for i := 0; i < n; i++ {
+				col[i] = sortedSample{v: src[i], y: int32(d.Y[i]), i: int32(i)}
+			}
+		case idx == nil:
+			for i := 0; i < n; i++ {
+				col[i] = sortedSample{v: d.X[i][f], y: int32(d.Y[i]), i: int32(i)}
+			}
+		case dc != nil:
+			src := dc[f]
+			for i, j := range idx {
+				col[i] = sortedSample{v: src[j], y: int32(d.Y[j]), i: int32(i)}
+			}
+		default:
+			for i, j := range idx {
+				col[i] = sortedSample{v: d.X[j][f], y: int32(d.Y[j]), i: int32(i)}
+			}
 		}
 		// Sample index breaks value ties: a deterministic total order, so
 		// the presort is independent of the sort algorithm.
@@ -213,7 +262,6 @@ func (b *treeBuilder) init(d *Dataset, maxDepth, minLeaf int, crit Criterion, ma
 
 // release drops the dataset references and returns the builder to the pool.
 func (b *treeBuilder) release() {
-	b.x = nil
 	b.rng = nil
 	treeBuilderPool.Put(b)
 }
