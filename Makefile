@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench check profile serve-bench shard-bench
+.PHONY: build test race vet lint lint-baseline bench check profile serve-bench shard-bench
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-# lint runs the libra-lint analyzer suite (determinism, dbunits, configmut,
-# floatreduce — see DESIGN.md "Static analysis & enforced invariants").
+# lint runs the libra-lint analyzer suite (determinism, noalloc, clocksep,
+# dbunits, configmut, floatreduce — see DESIGN.md "Static analysis & enforced
+# invariants"). Reviewed findings recorded in lint.baseline are dropped;
+# regenerate it with `make lint-baseline` only after review.
 lint:
-	$(GO) run ./cmd/libra-lint ./...
+	$(GO) run ./cmd/libra-lint -baseline lint.baseline ./...
+
+# lint-baseline snapshots the current findings into lint.baseline for review.
+lint-baseline:
+	$(GO) run ./cmd/libra-lint -write-baseline lint.baseline ./...
 
 # bench records a dated BENCH_<date>.json snapshot of the paper-reproduction
 # benchmarks and diffs it against the previous snapshot (10% threshold),

@@ -46,6 +46,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the interprocedural view: call graph and fact summaries over
+	// every package of the run. The contract analyzers (determinism v2,
+	// noalloc, clocksep) consult it; purely syntactic analyzers may ignore
+	// it. The driver always populates it.
+	Prog *Program
+
 	// Report delivers one diagnostic. The driver installs a collector
 	// here; analyzers usually call Reportf instead.
 	Report func(Diagnostic)

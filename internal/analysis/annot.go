@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The contract-annotation grammar. Annotations are doc-comment directives
+// that put a function (or a whole package) under — or sanction it out of —
+// one of the interprocedural contracts:
+//
+//	//lint:wallclock <reason>   — this function (or package, when the
+//	                              directive sits in the package doc) may read
+//	                              the wall clock; the reason is mandatory.
+//	                              The determinism analyzer verifies the
+//	                              annotation's use: annotating a function the
+//	                              engine proves clock-free is itself reported
+//	                              (a stale annotation is a lie in the source).
+//	//lint:noalloc [reason]     — this function is an allocation-free hot
+//	                              path: the noalloc analyzer forbids
+//	                              allocation sites in its body and calls to
+//	                              callees it cannot prove allocation-free.
+//
+// Both directives live in the function's doc comment (any line of it), so
+// the contract travels with the API documentation. Line-level escape hatches
+// remain the existing //lint:ignore <analyzer> <reason> comments.
+
+// An Annotation is one parsed lint directive.
+type Annotation struct {
+	Kind   string // "wallclock" or "noalloc"
+	Reason string // justification text; mandatory for wallclock
+	Pos    token.Pos
+}
+
+const (
+	annotWallclock = "wallclock"
+	annotNoalloc   = "noalloc"
+)
+
+// parseAnnotations extracts the lint directives from one doc comment group.
+// A //lint:wallclock directive without a reason is discarded (like an
+// unexplained //lint:ignore): sanctioning a wall-clock read without saying
+// why is not a contract, it is a loophole.
+func parseAnnotations(doc *ast.CommentGroup) []*Annotation {
+	if doc == nil {
+		return nil
+	}
+	var out []*Annotation
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "lint:" + annotWallclock:
+			if len(fields) < 2 {
+				continue // no reason: not a valid sanction
+			}
+			out = append(out, &Annotation{
+				Kind:   annotWallclock,
+				Reason: strings.Join(fields[1:], " "),
+				Pos:    c.Pos(),
+			})
+		case "lint:" + annotNoalloc:
+			out = append(out, &Annotation{
+				Kind:   annotNoalloc,
+				Reason: strings.Join(fields[1:], " "),
+				Pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// annotationFor returns the first annotation of the given kind, or nil.
+func annotationFor(annots []*Annotation, kind string) *Annotation {
+	for _, a := range annots {
+		if a.Kind == kind {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The reviewed baseline. A baseline file records known findings as
+//
+//	<file>\t<analyzer>\t<message>
+//
+// lines (blank lines and #-comments tolerated), and the driver drops any
+// finding whose (file, analyzer, message) triple appears there. Line and
+// column are deliberately not part of the key: a baseline must survive
+// unrelated edits shifting code around, and a finding whose message changed
+// is a different finding. Counts matter — a triple listed once suppresses
+// every identical occurrence in that file, which keeps review pressure on
+// making messages specific rather than on re-recording baselines.
+
+// A Baseline is the parsed set of accepted findings.
+type Baseline struct {
+	keys map[string]bool
+}
+
+func baselineKey(base string, f Finding) string {
+	return relTo(base, f.Pos.Filename) + "\t" + f.Analyzer + "\t" + f.Message
+}
+
+// LoadBaseline reads the baseline at path. A missing file is an empty
+// baseline, so fresh checkouts and baseline-free repos need no stub file.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{keys: make(map[string]bool)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("%s:%d: malformed baseline line (want file<TAB>analyzer<TAB>message)", path, ln)
+		}
+		b.keys[line] = true
+	}
+	return b, sc.Err()
+}
+
+// Filter returns the findings not covered by the baseline, preserving order.
+func (b *Baseline) Filter(base string, findings []Finding) []Finding {
+	if len(b.keys) == 0 {
+		return findings
+	}
+	out := findings[:0:0]
+	for _, f := range findings {
+		if !b.keys[baselineKey(base, f)] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// WriteBaseline writes the findings as a baseline file: deduplicated keys,
+// sorted, with a header explaining the contract.
+func WriteBaseline(w io.Writer, base string, findings []Finding) error {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, f := range findings {
+		k := baselineKey(base, f)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintf(w, "# libra-lint baseline: reviewed findings accepted as-is.\n"+
+		"# One finding per line: <file>\\t<analyzer>\\t<message>. Line numbers are\n"+
+		"# deliberately excluded so unrelated edits don't invalidate the baseline.\n"+
+		"# Regenerate with: go run ./cmd/libra-lint -write-baseline lint.baseline ./...\n"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

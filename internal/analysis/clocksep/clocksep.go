@@ -1,0 +1,129 @@
+// Package clocksep enforces the obs layer's two-clock separation as a call
+// graph property. The trace stream is stamped with simulation time and
+// promises byte-identical output for any worker count; the metrics side
+// measures real elapsed time by design. The two must never meet: no call
+// path may lead from sim-time tracer code (methods on the obs Tracer/Stream
+// types) into a wall-clock read — not even a //lint:wallclock-annotated one
+// like obs.StartTimer, since the annotation sanctions the read for metrics,
+// not its use in trace output — and no wall-clock-tainted value may reach a
+// trace event field (the obs.F/Fint/Ffloat constructors or a Stream.Event
+// argument).
+package clocksep
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/libra-wlan/libra/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "clocksep",
+	Doc: "enforces the obs two-clock rule interprocedurally: no call path " +
+		"from sim-time tracer code (obs Tracer/Stream methods) to " +
+		"time.Now/Since/Until — //lint:wallclock annotations sanction metrics " +
+		"reads, not tracer reachability — and no wall-clock-tainted value " +
+		"passed to obs.F/Fint/Ffloat or Stream.Event trace fields",
+	Run: run,
+}
+
+// tracerTypes are the obs type names whose methods form the sim-time side.
+var tracerTypes = map[string]bool{"Tracer": true, "Stream": true}
+
+// fieldCtors are the obs helpers that build trace event fields.
+var fieldCtors = map[string]bool{"F": true, "Fint": true, "Ffloat": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Prog == nil {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			node := pass.Prog.FuncAt(obj)
+			if node == nil {
+				continue
+			}
+			if isTracerMethod(pass, obj) {
+				if path := pass.Prog.ClockReachable(node.ID); path != nil {
+					pass.Reportf(fd.Pos(),
+						"sim-time tracer %s can reach the wall clock: %s; trace output must derive its times from the simulation clock", node.Name(), analysis.PathString(path))
+				}
+			}
+			checkFieldArgs(pass, node)
+		}
+	}
+	return nil, nil
+}
+
+// isTracerMethod reports whether fn is a method on an obs Tracer/Stream type.
+func isTracerMethod(pass *analysis.Pass, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedRecv(sig.Recv().Type())
+	return named != nil && tracerTypes[named.Obj().Name()] &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "obs"
+}
+
+// checkFieldArgs flags wall-clock-tainted values passed into trace event
+// fields: arguments of obs.F/Fint/Ffloat and of Stream/Tracer method calls
+// (Event and friends), in whatever package the caller lives.
+func checkFieldArgs(pass *analysis.Pass, node *analysis.FuncNode) {
+	info := pass.TypesInfo
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isFieldSink(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if pass.Prog.ClockTainted(node, arg) {
+				pass.Reportf(arg.Pos(),
+					"wall-clock value flows into a trace event field; trace bytes must be identical across runs — stamp the event from the simulation clock")
+			}
+		}
+		return true
+	})
+}
+
+// isFieldSink recognizes the obs field constructors and Tracer/Stream
+// method calls.
+func isFieldSink(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	var obj types.Object
+	if ok {
+		obj = info.ObjectOf(sel.Sel)
+	} else if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID {
+		obj = info.ObjectOf(id)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		named := namedRecv(sig.Recv().Type())
+		return named != nil && tracerTypes[named.Obj().Name()] &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "obs"
+	}
+	return fn.Pkg().Name() == "obs" && fieldCtors[fn.Name()]
+}
+
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,12 @@
+package clocksep_test
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/analysis/analysistest"
+	"github.com/libra-wlan/libra/internal/analysis/clocksep"
+)
+
+func TestClocksep(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), clocksep.Analyzer, "obs")
+}

@@ -1,0 +1,71 @@
+// Package obs mirrors internal/obs's two-clock layout so the clocksep tests
+// can pin the graph property: sim-time tracer code (Tracer/Stream methods)
+// must never reach a wall-clock read — not even through the annotated
+// metrics helper — and no wall-clock value may land in a trace event field.
+package obs
+
+import "time"
+
+// SimTime is the simulation clock: the only time allowed in trace output.
+type SimTime float64
+
+// Field is one key/value pair on a trace event.
+type Field struct {
+	K string
+	V int64
+}
+
+// F builds a trace event field — a field sink for the taint check.
+func F(k string, v int64) Field { return Field{K: k, V: v} }
+
+// Event is one trace record stamped with simulation time.
+type Event struct {
+	T      SimTime
+	Fields []Field
+}
+
+// Stream collects trace events; its methods are sim-time roots.
+type Stream struct{ events []Event }
+
+// Event appends one record. Clean: everything derives from the caller's
+// simulation clock.
+func (s *Stream) Event(t SimTime, fields ...Field) {
+	s.events = append(s.events, Event{T: t, Fields: fields})
+}
+
+// StartTimer is the metrics side; the annotation sanctions the read for the
+// determinism analyzer, but reachability from tracer code stays a violation.
+//
+//lint:wallclock engine-side latency metrics measure real elapsed time
+func StartTimer() int64 { return time.Now().UnixNano() }
+
+// stampHelper hides a clock read one call deep.
+func stampHelper() int64 { return time.Now().UnixNano() }
+
+// Tracer owns the trace stream; its methods are sim-time roots.
+type Tracer struct{ last int64 }
+
+// badFlush reaches the wall clock through an unannotated helper chain.
+func (t *Tracer) badFlush() { // want `sim-time tracer \(\*Tracer\)\.badFlush can reach the wall clock: \(\*Tracer\)\.badFlush → stampHelper`
+	t.last = stampHelper()
+}
+
+// badTimer reaches the wall clock through the annotated metrics helper: the
+// //lint:wallclock sanction covers metrics, not tracer reachability.
+func (t *Tracer) badTimer() { // want `sim-time tracer \(\*Tracer\)\.badTimer can reach the wall clock: \(\*Tracer\)\.badTimer → StartTimer`
+	t.last = StartTimer()
+}
+
+// goodFlush stamps from the simulation clock only: clean.
+func (t *Tracer) goodFlush(now SimTime) { t.last = int64(now) }
+
+// emit passes a wall-clock value into a trace field: the taint check fires
+// wherever the caller lives, tracer method or not.
+func emit(s *Stream, now SimTime) {
+	s.Event(now, F("wall", time.Now().UnixNano())) // want `wall-clock value flows into a trace event field`
+}
+
+// emitSim derives every field from the simulation clock: clean.
+func emitSim(s *Stream, now SimTime) {
+	s.Event(now, F("t", int64(now)))
+}

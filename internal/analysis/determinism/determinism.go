@@ -3,15 +3,16 @@
 // byte-identical output for any worker count; that contract dies the moment
 // a package reads time.Now or time.Since, draws from the global math/rand
 // source, or folds map-iteration order into a float accumulation or a slice.
-// Seeded *rand.Rand values must be plumbed in explicitly; wall-clock
-// measurements belong in internal/obs's metrics files, the single carve-out.
+// Seeded *rand.Rand values must be plumbed in explicitly; wall-clock reads
+// are sanctioned only by a //lint:wallclock annotation carrying its reason,
+// and the annotation itself is verified — annotating a function the engine
+// proves clock-free is reported as stale.
 package determinism
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"path/filepath"
 	"strings"
 
 	"github.com/libra-wlan/libra/internal/analysis"
@@ -19,17 +20,16 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
-	Doc: "forbids time.Now/time.Since, global math/rand draws, wall-clock rand " +
-		"seeds, and iteration-order-dependent accumulation over map ranges in " +
-		"the library packages (internal/..., examples/..., and the root " +
-		"package); cmd/ binaries are exempt, as are internal/obs's metrics " +
-		"files — the one sanctioned home for wall-clock reads — but not its " +
-		"sim-time tracer (trace*.go), whose output must stay reproducible; " +
-		"internal/serve gets the same per-file treatment: the online serving " +
-		"layer (latency deadlines, batch lingers) legitimately reads the wall " +
-		"clock, but its deterministic sources — the replay request stream " +
-		"(replay*.go), the consistent-hash ring (ring*.go), and the binary " +
-		"wire codec (wire*.go) — do not",
+	Doc: "forbids time.Now/time.Since/time.Until, global math/rand draws, " +
+		"wall-clock rand seeds (tracked interprocedurally: a seed helper that " +
+		"returns time.Now().UnixNano() taints rand.NewSource in its callers), " +
+		"and iteration-order-dependent accumulation over map ranges in the " +
+		"library packages (internal/..., examples/..., and the root package); " +
+		"cmd/ binaries are exempt. Functions that legitimately read the wall " +
+		"clock — latency metrics, request deadlines, batch lingers — carry a " +
+		"//lint:wallclock <reason> annotation (function doc, or package doc to " +
+		"sanction a whole package); a stale annotation on a provably " +
+		"clock-free function is itself reported",
 	Run: run,
 }
 
@@ -57,16 +57,58 @@ func run(pass *analysis.Pass) (any, error) {
 	if exemptPackage(pass.Pkg) {
 		return nil, nil
 	}
+	pkgAnnot := pkgWallclock(pass)
+	pkgHasClock := false
+
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkCall(pass, n)
-			case *ast.RangeStmt:
-				checkMapRange(pass, f, n)
+		// Function bodies: clock sites are judged against the enclosing
+		// function's (or package's) //lint:wallclock annotation, and seeds
+		// are checked with the interprocedural taint facts.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
-			return true
-		})
+			node := fnNode(pass, fd)
+			sanctioned := pkgAnnot != nil || (node != nil && node.Wallclock != nil)
+			direct := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					direct = checkCall(pass, node, n, sanctioned) || direct
+				case *ast.RangeStmt:
+					checkMapRange(pass, f, n)
+				}
+				return true
+			})
+			pkgHasClock = pkgHasClock || direct
+			if node != nil && node.Wallclock != nil && !direct {
+				pass.Reportf(node.Wallclock.Pos,
+					"stale //lint:wallclock annotation: %s contains no wall-clock reads; delete the annotation or the sanction outlives its reason", node.Name())
+			}
+		}
+		// Package-level initializers have no function to annotate; only a
+		// package-level annotation sanctions them.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				direct := checkCall(pass, nil, call, pkgAnnot != nil)
+				pkgHasClock = pkgHasClock || direct
+				return true
+			})
+		}
+	}
+
+	if pkgAnnot != nil && !pkgHasClock {
+		pass.Reportf(pkgAnnot.Pos,
+			"stale //lint:wallclock annotation: package %s contains no wall-clock reads; delete the annotation or the sanction outlives its reason", pass.Pkg.Name())
 	}
 	return nil, nil
 }
@@ -81,58 +123,71 @@ func exemptPackage(pkg *types.Package) bool {
 	return strings.Contains(pkg.Path()+"/", "/cmd/")
 }
 
-// wallClockFile reports whether pos falls inside one of the two library
-// locations where wall-clock reads are the point, each a per-file (not
-// per-package) carve-out:
-//
-//   - internal/obs's metrics files: engine-side diagnostics (timer
-//     histograms, profile stamps) measure real elapsed time by design. The
-//     package's sim-time tracer lives in trace*.go and stays banned, because
-//     trace output promises byte-identical bytes for any worker count.
-//   - internal/serve, the online inference service: request deadlines and
-//     batch lingers are wall-clock phenomena. Its deterministic sources stay
-//     banned per file: the fixed-seed replay request stream (replay*.go)
-//     must be reproducible for load results to be comparable, shard routing
-//     (ring*.go) must assign every link the same shard on every process for
-//     per-shard metrics to be diffable, and the wire codec (wire*.go) is
-//     pure frame arithmetic whose bytes must not depend on when they were
-//     encoded. The socket loops (binary.go) and shard router (shard.go)
-//     remain wall-clock territory.
-func wallClockFile(pass *analysis.Pass, pos token.Pos) bool {
-	path := pass.Pkg.Path()
-	file := filepath.Base(pass.Fset.Position(pos).Filename)
-	switch {
-	case path == "obs" || strings.HasSuffix(path, "/obs"):
-		return !strings.HasPrefix(file, "trace")
-	case path == "serve" || strings.HasSuffix(path, "/serve"):
-		return !strings.HasPrefix(file, "replay") &&
-			!strings.HasPrefix(file, "ring") &&
-			!strings.HasPrefix(file, "wire")
+// pkgWallclock returns the package-level //lint:wallclock annotation, if any.
+func pkgWallclock(pass *analysis.Pass) *analysis.Annotation {
+	if pass.Prog == nil || pass.Pkg == nil {
+		return nil
 	}
-	return false
+	return pass.Prog.PkgWallclock(pass.Pkg.Path())
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+// fnNode resolves the declaration to its call-graph node, or nil.
+func fnNode(pass *analysis.Pass, fd *ast.FuncDecl) *analysis.FuncNode {
+	if pass.Prog == nil {
+		return nil
+	}
+	obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	return pass.Prog.FuncAt(obj)
+}
+
+// checkCall handles the call-shaped violations: direct wall-clock reads
+// (unless sanctioned) and global/clock-seeded randomness. It reports whether
+// the call is a direct wall-clock read, sanctioned or not — the signal the
+// stale-annotation check needs.
+func checkCall(pass *analysis.Pass, node *analysis.FuncNode, call *ast.CallExpr, sanctioned bool) bool {
 	callee := calleeFunc(pass, call)
 	if callee == nil || callee.Pkg() == nil {
-		return
+		return false
 	}
 	switch callee.Pkg().Path() {
 	case "time":
-		if (callee.Name() == "Now" || callee.Name() == "Since") && !wallClockFile(pass, call.Pos()) {
-			pass.Reportf(call.Pos(),
-				"time.%s makes output wall-clock-dependent; plumb an explicit timestamp, derive times from the simulation clock, or route the measurement through an obs metric", callee.Name())
+		switch callee.Name() {
+		case "Now", "Since", "Until":
+			if !sanctioned {
+				pass.Reportf(call.Pos(),
+					"time.%s makes output wall-clock-dependent; plumb an explicit timestamp, derive times from the simulation clock, route the measurement through an obs metric, or annotate the function //lint:wallclock <reason>", callee.Name())
+			}
+			return true
 		}
 	case "math/rand", "math/rand/v2":
 		if globalRandFuncs[callee.Name()] {
 			pass.Reportf(call.Pos(),
 				"rand.%s draws from the process-global source; plumb a seeded *rand.Rand instead", callee.Name())
 		}
-		if callee.Name() == "NewSource" && containsTimeCall(pass, call) {
+		if callee.Name() == "NewSource" && seededFromClock(pass, node, call) {
 			pass.Reportf(call.Pos(),
 				"rand.NewSource seeded from the wall clock is unreproducible; derive the seed from configuration")
 		}
 	}
+	return false
+}
+
+// seededFromClock reports whether any argument carries wall-clock taint —
+// through the interprocedural facts when available (a helper returning
+// time.Now().UnixNano() taints its callers' seeds), falling back to the
+// syntactic "contains a time.* call" test.
+func seededFromClock(pass *analysis.Pass, node *analysis.FuncNode, call *ast.CallExpr) bool {
+	if pass.Prog != nil && node != nil {
+		for _, arg := range call.Args {
+			if pass.Prog.ClockTainted(node, arg) {
+				return true
+			}
+		}
+	}
+	return containsTimeCall(pass, call)
 }
 
 // calleeFunc resolves a call to a package-level *types.Func, or nil for

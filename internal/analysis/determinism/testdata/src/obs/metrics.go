@@ -1,16 +1,19 @@
-// Package obs mirrors internal/obs's file layout so the determinism tests
-// can pin the analyzer's carve-out: wall-clock reads in the package's
-// metrics files are sanctioned, while the same reads in trace*.go stay
-// flagged (see trace.go in this fixture).
+// Package obs mirrors internal/obs so the determinism tests can pin the
+// annotation contract that replaced the old per-file carve-out: wall-clock
+// reads are sanctioned only by a //lint:wallclock annotation on the reading
+// function, and the same reads in the unannotated sim-time tracer (see
+// trace.go in this fixture) stay flagged.
 package obs
 
 import "time"
 
 // Stopwatch mirrors the sanctioned metrics timer. Wall-clock reads here are
-// the point — engine-side diagnostics measure real elapsed time — so neither
-// call below carries a want annotation.
+// the point — engine-side diagnostics measure real elapsed time — so both
+// functions carry the annotation and neither call below is flagged.
 type Stopwatch struct{ t0 time.Time }
 
+//lint:wallclock engine-side latency metrics measure real elapsed time
 func StartTimer() Stopwatch { return Stopwatch{t0: time.Now()} }
 
+//lint:wallclock engine-side latency metrics measure real elapsed time
 func (s Stopwatch) Elapsed() float64 { return time.Since(s.t0).Seconds() }

@@ -1,0 +1,8 @@
+package obs
+
+// pureCompute pins the verification half of the annotation contract: the
+// wall-clock reads this annotation once sanctioned are gone, so the
+// annotation itself is reported — a stale sanction is a lie in the source.
+
+//lint:wallclock legacy histogram stamp, reads removed long ago // want `stale //lint:wallclock annotation: pureCompute contains no wall-clock reads`
+func pureCompute(a, b int) int { return a + b }

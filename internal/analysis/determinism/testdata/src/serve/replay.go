@@ -2,9 +2,10 @@ package serve
 
 import "time"
 
-// badReplaySeed is the replay side of the serve contract: replay*.go
-// promises a reproducible fixed-seed request stream, so wall-clock reads
-// are flagged even though the surrounding package is serve.
+// badReplaySeed is the regression the annotation model fixes for good: under
+// the old per-file carve-out a wall-clock read anywhere in an engine file of
+// internal/serve was silently sanctioned; now every read without its own
+// //lint:wallclock annotation is caught, whatever file it lands in.
 func badReplaySeed() int64 {
 	t := time.Now()   // want `time\.Now makes output wall-clock-dependent`
 	_ = time.Since(t) // want `time\.Since makes output wall-clock-dependent`

@@ -2,10 +2,9 @@ package serve
 
 import "time"
 
-// badRingSeed pins the ring side of the serve contract: ring*.go holds the
-// consistent-hash shard router's placement math, which must assign every
-// link the same shard in every process, so wall-clock reads are flagged
-// even though the surrounding package is serve.
+// badRingSeed pins the shard router's placement math: it must assign every
+// link the same shard in every process, so its unannotated wall-clock reads
+// are flagged even though annotated serving functions share the package.
 func badRingSeed() int64 {
 	t := time.Now()   // want `time\.Now makes output wall-clock-dependent`
 	_ = time.Since(t) // want `time\.Since makes output wall-clock-dependent`

@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// The interprocedural leak the syntactic v1 analyzer could never see: the
+// wall clock flows through a helper's return value (and through a struct
+// field) into a rand seed. The helpers are //lint:wallclock-annotated — the
+// reads themselves are sanctioned — but the taint survives the annotation:
+// sanctioning a read does not make the value deterministic, so seeding a
+// generator from it is still flagged at the rand.NewSource call.
+
+//lint:wallclock deadline bookkeeping helper; callers must not seed from it
+func wallSeed() int64 { return time.Now().UnixNano() }
+
+func leakedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(wallSeed())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+// stamp carries the taint through a struct field: the composite literal in
+// newStamp taints stamp.t0 program-wide, and reading it back out in
+// stampSeed poisons the seed.
+type stamp struct{ t0 time.Time }
+
+//lint:wallclock deadline bookkeeping helper; callers must not seed from it
+func newStamp() stamp { return stamp{t0: time.Now()} }
+
+func stampSeed(s stamp) *rand.Rand {
+	return rand.New(rand.NewSource(s.t0.UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}

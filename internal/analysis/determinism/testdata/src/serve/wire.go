@@ -2,10 +2,9 @@ package serve
 
 import "time"
 
-// badWireStamp pins the codec side of the serve contract: wire*.go is the
-// binary protocol's pure frame arithmetic — encoding the same request must
-// produce the same bytes on every host — so wall-clock reads are flagged
-// even though the surrounding package is serve.
+// badWireStamp pins the codec side of the contract: the binary protocol is
+// pure frame arithmetic — encoding the same request must produce the same
+// bytes on every host — so its wall-clock reads stay unannotated and flagged.
 func badWireStamp() int64 {
 	t := time.Now()   // want `time\.Now makes output wall-clock-dependent`
 	_ = time.Since(t) // want `time\.Since makes output wall-clock-dependent`

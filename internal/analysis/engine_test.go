@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWorkerCountInvariance is the determinism contract of the parallel
+// runner: findings — and the exact bytes of the JSON and SARIF reports —
+// must be identical for every -workers value.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads module packages")
+	}
+	patterns := []string{"./internal/dsp", "./internal/geom", "./internal/phased", "./internal/obs"}
+	serial, err1 := RunN("../..", patterns, []*Analyzer{callReporter}, 1)
+	wide, err8 := RunN("../..", patterns, []*Analyzer{callReporter}, 8)
+	if err1 != nil || err8 != nil {
+		t.Fatalf("run errors: workers=1 %v, workers=8 %v", err1, err8)
+	}
+	if len(serial) == 0 {
+		t.Fatal("callreporter found no calls; the fixture lost its teeth")
+	}
+	if len(serial) != len(wide) {
+		t.Fatalf("workers=1 found %d, workers=8 found %d", len(serial), len(wide))
+	}
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("finding %d differs: %v vs %v", i, serial[i], wide[i])
+		}
+	}
+	var j1, j8, s1, s8 bytes.Buffer
+	if err := WriteJSON(&j1, "../..", serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&j8, "../..", wide); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j8.Bytes()) {
+		t.Error("JSON output differs across worker counts")
+	}
+	az := []*Analyzer{callReporter}
+	if err := WriteSARIF(&s1, "../..", serial, az); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSARIF(&s8, "../..", wide, az); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1.Bytes(), s8.Bytes()) {
+		t.Error("SARIF output differs across worker counts")
+	}
+}
+
+// TestPanicContainment: a panicking analyzer must not take down the run or
+// poison the other analyzers' findings, and its own partial findings must be
+// discarded (a half-reported invariant is worse than an explicit failure).
+func TestPanicContainment(t *testing.T) {
+	const src = `package suppress
+
+func f() int { return 0 }
+
+func a() int { return f() }
+`
+	panicky := &Analyzer{
+		Name: "panicky",
+		Doc:  "test analyzer: reports once, then panics",
+		Run: func(pass *Pass) (any, error) {
+			pass.Reportf(pass.Files[0].Pos(), "partial finding that must be discarded")
+			panic("analyzer bug")
+		},
+	}
+	pkg := parsePackage(t, src)
+	findings, err := RunPackage(pkg, []*Analyzer{panicky, callReporter})
+	if err == nil || !strings.Contains(err.Error(), "panicky") {
+		t.Fatalf("err = %v, want contained panic attributed to panicky", err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "callreporter" {
+		t.Fatalf("findings = %v, want exactly callreporter's one", findings)
+	}
+}
+
+// TestFileIgnoreScopedToFile: a //lint:file-ignore only covers the file that
+// declares it. A blanket suppression in a _test.go file must not leak to the
+// package's real sources.
+func TestFileIgnoreScopedToFile(t *testing.T) {
+	fset := token.NewFileSet()
+	lib, err := parser.ParseFile(fset, "lib.go", `package suppress
+
+func f() int { return 0 }
+
+func a() int { return f() }
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tst, err := parser.ParseFile(fset, "lib_test.go", `package suppress
+
+//lint:file-ignore callreporter tests may call whatever they like
+
+func b() int { return f() }
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{
+		Path:      "github.com/libra-wlan/libra/internal/fixtures/suppress",
+		Fset:      fset,
+		Files:     []*ast.File{lib, tst},
+		TypesInfo: NewTypesInfo(),
+	}
+	conf := types.Config{}
+	pkg.Pkg, err = conf.Check(pkg.Path, fset, pkg.Files, pkg.TypesInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(pkg, []*Analyzer{callReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, f := range findings {
+		files = append(files, filepath.Base(f.Pos.Filename))
+	}
+	if len(findings) != 1 || files[0] != "lib.go" {
+		t.Fatalf("findings in %v, want exactly one in lib.go (file-ignore must not leak across files)", files)
+	}
+}
+
+// TestLoadGenericsViaExportData: the export-data importer must handle a
+// dependency that exports type parameters — the shape x/tools users get from
+// modern modules. The temp module keeps the fixture out of the repo's own
+// build graph.
+func TestLoadGenericsViaExportData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/genmod\n\ngo 1.21\n")
+	write("genlib/genlib.go", `package genlib
+
+// Pair is a generic two-tuple.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// Map applies f to every element of xs.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}
+`)
+	write("use/use.go", `package use
+
+import "example.com/genmod/genlib"
+
+// Doubled instantiates the generic import across the package boundary.
+func Doubled(xs []int) []genlib.Pair[int, int] {
+	return genlib.Map(xs, func(x int) genlib.Pair[int, int] {
+		return genlib.Pair[int, int]{First: x, Second: 2 * x}
+	})
+}
+`)
+	pkgs, err := Load(dir, "./use")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) != 0 {
+		t.Fatalf("type errors importing generics via export data: %v", pkg.TypeErrors)
+	}
+	scope := pkg.Pkg.Scope()
+	obj := scope.Lookup("Doubled")
+	if obj == nil {
+		t.Fatal("Doubled not in scope")
+	}
+	sig := obj.Type().(*types.Signature)
+	if got := sig.Results().At(0).Type().String(); !strings.Contains(got, "genlib.Pair[int, int]") {
+		t.Errorf("instantiated result type = %q, want genlib.Pair[int, int] slice", got)
+	}
+	// The analyzers must run over it without tripping on type-param nodes.
+	if _, err := RunPackage(pkg, []*Analyzer{callReporter}); err != nil {
+		t.Fatal(err)
+	}
+}

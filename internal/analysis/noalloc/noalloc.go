@@ -1,0 +1,85 @@
+// Package noalloc enforces the //lint:noalloc hot-path contract: a function
+// annotated //lint:noalloc must be allocation-free in steady state. The
+// fleet-scale throughput numbers rest on the decide and measure paths never
+// touching the allocator once warm; this analyzer turns that benchmark
+// observation into a merge gate.
+//
+// Inside an annotated function the analyzer flags every allocation construct
+// — make/new, slice and map composite literals, &composite escapes, growing
+// append, interface boxing at call boundaries, closure captures, string
+// concatenation and string↔[]byte conversions, map writes, go statements —
+// and every call to a callee it cannot prove allocation-free: callees must
+// themselves be annotated, be proven free by the interprocedural fact
+// engine, or sit on the short external allowlist (math, sync/atomic, lock
+// methods, plumbed-RNG draws, fixed-width encoding/binary helpers,
+// sync.Pool). Calls through func values are always flagged; calls through
+// interfaces are resolved to every in-program implementation and each must
+// hold the contract.
+//
+// Two escapes keep the contract honest rather than unusable: sites and
+// calls lexically inside a warm-up guard (an if whose condition re-checks a
+// reusable buffer via cap/len or nil) are amortized cold-path work and pass,
+// and a //lint:ignore noalloc <reason> line comment documents a reviewed
+// exception in place.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/libra-wlan/libra/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "forbids allocation sites (make/new, composite-literal escapes, " +
+		"growing append, interface boxing, closure captures, string↔[]byte " +
+		"conversions, map writes) in //lint:noalloc-annotated functions, and " +
+		"calls from them to callees not provably allocation-free; warm-up " +
+		"guards (cap/len or nil re-checks of reusable buffers) mark the " +
+		"sanctioned amortized cold path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Prog == nil {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			node := pass.Prog.FuncAt(obj)
+			if node == nil || node.Noalloc == nil {
+				continue
+			}
+			check(pass, node)
+		}
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, fn *analysis.FuncNode) {
+	for _, site := range pass.Prog.AllocSites(fn) {
+		if site.Amortized {
+			continue
+		}
+		pass.Reportf(site.Pos,
+			"allocation in //lint:noalloc function %s: %s", fn.Name(), site.What)
+	}
+	for _, c := range fn.Calls {
+		if c.Amortized {
+			continue
+		}
+		if why := pass.Prog.CallAllocWhy(c); why != "" {
+			pass.Reportf(c.Pos,
+				"//lint:noalloc function %s %s; annotate the callee //lint:noalloc, prove it allocation-free, or move the call behind a warm-up guard", fn.Name(), why)
+		}
+	}
+}

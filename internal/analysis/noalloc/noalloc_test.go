@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/analysis/analysistest"
+	"github.com/libra-wlan/libra/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noalloc.Analyzer, "noallocfix")
+}

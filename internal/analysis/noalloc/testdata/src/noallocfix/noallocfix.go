@@ -1,0 +1,137 @@
+// Package noallocfix seeds one violation per noalloc rule (want-annotated)
+// next to the clean idiom that must stay unflagged: the amortized warm-up
+// guard, in-place append into caller-owned buffers, annotated and proven
+// allocation-free callees, and the allowlisted external calls.
+package noallocfix
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// scratch is the reusable-buffer shape the hot paths share.
+type scratch struct {
+	buf  []float64
+	hits uint64
+}
+
+// --- positives -----------------------------------------------------------
+
+//lint:noalloc seeded violation: direct allocation sites
+func badSites(s *scratch, n int, key string) float64 {
+	s.buf = make([]float64, n) // want `allocation in //lint:noalloc function badSites: make allocates`
+	p := new(float64)          // want `allocation in //lint:noalloc function badSites: new allocates`
+	xs := []float64{1, 2, 3}   // want `allocation in //lint:noalloc function badSites: slice literal allocates`
+	_ = key + "!"              // want `allocation in //lint:noalloc function badSites: string concatenation allocates`
+	_ = []byte(key)            // want `allocation in //lint:noalloc function badSites: string↔\[\]byte conversion copies and allocates`
+	return *p + xs[0]
+}
+
+//lint:noalloc seeded violation: growing append and map write
+func badGrow(s *scratch, counts map[string]int, key string, v float64) {
+	local := []float64(nil)
+	local = append(local, v) // want `allocation in //lint:noalloc function badGrow: append may grow and allocate`
+	counts[key]++            // want `allocation in //lint:noalloc function badGrow: map write may allocate`
+	_ = local
+}
+
+//lint:noalloc seeded violation: escaping composite and closure capture
+func badEscape(v float64) func() float64 {
+	p := &scratch{}         // want `allocation in //lint:noalloc function badEscape: &composite literal escapes to the heap`
+	return func() float64 { // want `allocation in //lint:noalloc function badEscape: closure captures variables and allocates`
+		return v + float64(p.hits)
+	}
+}
+
+// allocHelper is unannotated and allocates: calling it from a noalloc
+// function is the interprocedural violation the fact engine exists to catch.
+func allocHelper(n int) []float64 { return make([]float64, n) }
+
+//lint:noalloc seeded violation: allocating unannotated callee
+func badCallee(n int) float64 {
+	xs := allocHelper(n) // want `//lint:noalloc function badCallee calls allocHelper, which allocates`
+	return xs[0]
+}
+
+//lint:noalloc seeded violation: external callee not on the allowlist
+func badExtern(i int) int {
+	return len(strconv.Itoa(i)) // want `//lint:noalloc function badExtern calls strconv\.Itoa \(external, not known allocation-free\)`
+}
+
+//lint:noalloc seeded violation: call through a func value
+func badDynamic(f func() int) int {
+	return f() // want `//lint:noalloc function badDynamic calls through a func value`
+}
+
+// summer's implementations below are resolved class-hierarchy style; the
+// allocating one poisons every call through the interface.
+type summer interface{ sum(xs []float64) float64 }
+
+type allocSummer struct{}
+
+func (allocSummer) sum(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	t := 0.0
+	for _, v := range tmp {
+		t += v
+	}
+	return t
+}
+
+type cleanSummer struct{ total float64 }
+
+func (c *cleanSummer) sum(xs []float64) float64 {
+	c.total = 0
+	for _, v := range xs {
+		c.total += v
+	}
+	return c.total
+}
+
+//lint:noalloc seeded violation: interface call with an allocating implementation
+func badIface(s summer, xs []float64) float64 {
+	return s.sum(xs) // want `//lint:noalloc function badIface calls interface method sum; implementation`
+}
+
+// --- negatives -----------------------------------------------------------
+
+// freeHelper is unannotated but provably allocation-free: the fact engine
+// clears calls to it without an annotation.
+func freeHelper(xs []float64) float64 {
+	t := 0.0
+	for _, v := range xs {
+		t += math.Abs(v)
+	}
+	return t
+}
+
+//lint:noalloc steady-state hot path: warm-up guard, in-place appends, clean callees
+func goodPath(s *scratch, dst []float64, xs []float64) []float64 {
+	if cap(s.buf) < len(xs) {
+		s.buf = make([]float64, 0, len(xs)) // amortized: guarded by the cap check
+	}
+	tmp := s.buf[:0]
+	for _, v := range xs {
+		tmp = append(tmp, v*v)         // in-place into receiver-owned storage
+		dst = append(dst, math.Abs(v)) // in-place into the caller's buffer
+	}
+	atomic.AddUint64(&s.hits, 1)
+	_ = freeHelper(tmp)
+	return dst
+}
+
+//lint:noalloc annotated callee chain: the annotation is trusted interprocedurally
+func goodChain(s *scratch, dst []float64, xs []float64) []float64 {
+	return goodPath(s, dst, xs)
+}
+
+// suppressed documents a reviewed exception in place: the line-level escape
+// hatch still works inside an annotated function.
+//
+//lint:noalloc cold start builds the table once
+func suppressed(n int) []float64 {
+	//lint:ignore noalloc one-time table build, measured cold
+	return make([]float64, n)
+}

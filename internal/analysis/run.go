@@ -1,11 +1,14 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Finding is one diagnostic resolved to a concrete position, tagged with
@@ -21,23 +24,69 @@ func (f Finding) String() string {
 }
 
 // Run loads the packages matched by patterns (relative to dir) and applies
-// every analyzer to every package, returning the surviving findings sorted
-// by position. Suppressions (see lintIgnores) are applied here so every
-// consumer — the libra-lint binary and the bench gate alike — honours them
-// identically.
+// every analyzer to every package with a default-sized worker pool,
+// returning the surviving findings sorted by position. Suppressions (see
+// lintIgnores) are applied here so every consumer — the libra-lint binary
+// and the bench gate alike — honours them identically.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	return RunN(dir, patterns, analyzers, 0)
+}
+
+// RunN is Run with an explicit worker count (<= 0 means GOMAXPROCS).
+// Packages are analyzed concurrently; the interprocedural Program is built
+// once, serially, before the pool starts. Findings are merged in package
+// load order and then position-sorted with a full tie-break, so the output
+// bytes are identical for every worker count.
+//
+// A panicking analyzer is contained: its panic is reported through the
+// returned error (joined across analyzers and packages) while every other
+// analyzer's findings are kept, so one crashing check cannot mask the rest.
+func RunN(dir string, patterns []string, analyzers []*Analyzer, workers int) ([]Finding, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	prog := BuildProgram(pkgs)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	perPkg := make([][]Finding, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i], errs[i] = RunPackageProg(pkgs[i], prog, analyzers)
+			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
 	var findings []Finding
-	for _, pkg := range pkgs {
-		fs, err := RunPackage(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
+	for _, fs := range perPkg {
 		findings = append(findings, fs...)
 	}
+	sortFindings(findings)
+	return findings, errors.Join(errs...)
+}
+
+// sortFindings orders findings by position with analyzer and message
+// tie-breaks — a total order, so concurrent runs serialize identically.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -49,16 +98,29 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings, nil
 }
 
-// RunPackage applies the analyzers to one loaded package and filters the
-// diagnostics through the package's //lint:ignore comments.
+// RunPackage applies the analyzers to one loaded package, building a
+// single-package interprocedural Program for the pass. The analysistest
+// harness and engine tests use this entry point; the multi-package driver
+// goes through RunN so the Program spans the whole pattern set.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunPackageProg(pkg, BuildProgram([]*Package{pkg}), analyzers)
+}
+
+// RunPackageProg applies the analyzers to one package against a prebuilt
+// Program and filters the diagnostics through the package's //lint:ignore
+// comments. Analyzer panics are contained per analyzer: the findings of the
+// others survive and the panics come back in the (joined) error.
+func RunPackageProg(pkg *Package, prog *Program, analyzers []*Analyzer) ([]Finding, error) {
 	ignores := lintIgnores(pkg)
 	var findings []Finding
+	var errs []error
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -66,20 +128,37 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.TypesInfo,
+			Prog:      prog,
 		}
 		name := a.Name
+		// Collect into a per-analyzer slice and commit only on clean return,
+		// so a half-run panicking analyzer contributes nothing partial.
+		var mine []Finding
 		pass.Report = func(d Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
 			if ignores.suppressed(name, pos) {
 				return
 			}
-			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			mine = append(mine, Finding{Analyzer: name, Pos: pos, Message: d.Message})
 		}
-		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		if err := runContained(a, pass); err != nil {
+			errs = append(errs, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err))
+			continue
 		}
+		findings = append(findings, mine...)
 	}
-	return findings, nil
+	return findings, errors.Join(errs...)
+}
+
+// runContained invokes one analyzer, converting a panic into an error.
+func runContained(a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	_, err = a.Run(pass)
+	return err
 }
 
 // ignoreSet records, per file, which analyzers are suppressed on which lines

@@ -101,12 +101,17 @@ func (l *Link) Measure(txBeam, rxBeam int) Measurement {
 // array when its capacity suffices. Callers that own a scratch Measurement
 // and recycle it across calls (the campaign generator's per-worker arena)
 // measure without allocating; the values written are bit-identical to what
-// Measure returns.
+// Measure returns. The two suppressed calls below rebuild memo tables at
+// most once per geometric state — cold work amortized across the thousands
+// of measurements taken at each state.
+//
+//lint:noalloc per-frame measurement kernel; PDP scratch is caller-owned
 func (l *Link) MeasureInto(m *Measurement, txBeam, rxBeam int) {
 	obsMeasures.Inc()
-	g := l.ensureGains()
+	g := l.ensureGains() //lint:ignore noalloc cold gain-table rebuild, once per geometry epoch
 	measureInto(m, g.paths, g.linBase,
 		g.row(g.txLin, txBeam), g.row(g.rxLin, rxBeam),
+		//lint:ignore noalloc cold noise-vector refill, once per epoch and noise figure
 		l.noiseMwFor(rxBeam), g.minDelayNs)
 }
 

@@ -1,0 +1,26 @@
+package channel
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/testutil"
+)
+
+// TestMeasureIntoNoalloc is the runtime half of MeasureInto's //lint:noalloc
+// contract: once the gain tables and noise vector are warm (the suppressed
+// cold rebuilds) and m.PDP has its backing, a measurement must cost zero
+// allocations. libra-lint proves this statically; the gate watches the
+// allocator agree.
+func TestMeasureIntoNoalloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	l := testLink(5)
+	var m Measurement
+	avg := testing.AllocsPerRun(100, func() {
+		l.MeasureInto(&m, 12, 12)
+	})
+	if avg != 0 {
+		t.Errorf("MeasureInto allocates %v per run, want 0 (//lint:noalloc)", avg)
+	}
+}

@@ -265,6 +265,8 @@ var defaultDrift = drift{snrSigma: 0.4, noiseSigma: 1.0, pdpSigma: 0.15}
 // when it is large enough. The RNG draw order — SNR, noise, then one draw per
 // strictly positive tap — is the contract the campaign digests pin; it must
 // match perturb's historic order exactly. out must not alias m.
+//
+//lint:noalloc campaign inner loop; the PDP backing is caller-recycled
 func perturbInto(out, m *channel.Measurement, d drift, rng *rand.Rand) {
 	pdp := out.PDP
 	*out = *m

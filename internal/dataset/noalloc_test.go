@@ -1,0 +1,36 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/channel"
+	"github.com/libra-wlan/libra/internal/testutil"
+)
+
+// TestPerturbIntoNoalloc is the runtime half of perturbInto's //lint:noalloc
+// contract: with out's PDP backing warm, a drift draw must cost zero
+// allocations — it runs once per entry in the campaign inner loop.
+func TestPerturbIntoNoalloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	m := &channel.Measurement{
+		RSSdBm:   -58,
+		NoiseDBm: -82,
+		SNRdB:    24,
+		ToFNs:    13.7,
+		PDP:      make([]float64, channel.PDPTaps),
+	}
+	for i := 0; i < len(m.PDP); i += 3 {
+		m.PDP[i] = 1e-6 / float64(i+1)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var out channel.Measurement
+	avg := testing.AllocsPerRun(100, func() {
+		perturbInto(&out, m, defaultDrift, rng)
+	})
+	if avg != 0 {
+		t.Errorf("perturbInto allocates %v per run, want 0 (//lint:noalloc)", avg)
+	}
+}

@@ -145,10 +145,10 @@ func (f *RandomForest) Predict(x []float64) int {
 	}
 	var vbuf [16]int
 	votes := vbuf[:0]
-	if f.numClasses <= len(vbuf) {
-		votes = vbuf[:f.numClasses]
-	} else {
+	if f.numClasses > len(vbuf) {
 		votes = make([]int, f.numClasses)
+	} else {
+		votes = vbuf[:f.numClasses]
 	}
 	for _, t := range f.trees {
 		c := t.Predict(x)
@@ -166,10 +166,32 @@ func (f *RandomForest) Predict(x []float64) int {
 	return argmaxCount(votes)
 }
 
+// voteScratch holds the reusable vote buffer for the float64 batch path;
+// pooled so concurrent batch callers don't contend on one buffer.
+type voteScratch struct {
+	votes []int32
+}
+
+var voteScratchPool = sync.Pool{New: func() any { return new(voteScratch) }}
+
+// grow resizes the scratch to n zeroed int32s.
+func (s *voteScratch) grow(n int) []int32 {
+	if cap(s.votes) < n {
+		s.votes = make([]int32, n)
+	}
+	votes := s.votes[:n]
+	for i := range votes {
+		votes[i] = 0
+	}
+	return votes
+}
+
 // PredictBatch implements BatchPredictor: it classifies every row of X into
 // out (reused when its capacity suffices) with no per-sample allocation. The
 // walk iterates trees in the outer loop so each compiled tree stays
 // cache-resident across the whole batch.
+//
+//lint:noalloc steady-state decide kernel; votes come from the shared scratch pool
 func (f *RandomForest) PredictBatch(X [][]float64, out []int) []int {
 	out = resizeInts(out, len(X))
 	if len(f.trees) == 0 || len(X) == 0 {
@@ -179,7 +201,9 @@ func (f *RandomForest) PredictBatch(X [][]float64, out []int) []int {
 		return out
 	}
 	nc := f.voteClasses()
-	votes := make([]int32, len(X)*nc)
+	s := voteScratchPool.Get().(*voteScratch)
+	defer voteScratchPool.Put(s)
+	votes := s.grow(len(X) * nc)
 	for _, t := range f.trees {
 		nodes := t.flat.nodes
 		if len(nodes) == 0 {

@@ -1,0 +1,70 @@
+package ml
+
+import (
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/testutil"
+)
+
+// The runtime half of the //lint:noalloc contract: libra-lint proves the
+// annotated kernels allocation-free statically, and these gates cross-check
+// the claim against the allocator. A steady-state call (after the warm-up
+// run AllocsPerRun performs, which populates the scratch pools and grows the
+// cap-guarded buffers) must cost exactly zero allocations.
+
+func noallocForest(t *testing.T) (*RandomForest, *QuantForest, [][]float64) {
+	t.Helper()
+	rf := &RandomForest{NumTrees: 30, MaxDepth: 8, Seed: 7}
+	if err := rf.Fit(quantTestData(400, 7, 5)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := rf.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := quantTestData(64, 7, 9)
+	X := make([][]float64, test.Len())
+	for i := range X {
+		X[i] = test.X[i]
+	}
+	return rf, q, X
+}
+
+func TestPredictBatchNoalloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	rf, q, X := noallocForest(t)
+	out := make([]int, len(X))
+
+	if avg := testing.AllocsPerRun(50, func() { rf.PredictBatch(X, out) }); avg != 0 {
+		t.Errorf("RandomForest.PredictBatch allocates %v per run, want 0 (//lint:noalloc)", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { q.PredictBatch(X, out) }); avg != 0 {
+		t.Errorf("QuantForest.PredictBatch allocates %v per run, want 0 (//lint:noalloc)", avg)
+	}
+}
+
+func TestClassifyKeys32Noalloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	_, q, X := noallocForest(t)
+	stride := len(X[0])
+	keys := make([]uint32, len(X)*stride)
+	row := make([]float32, stride)
+	for i, x := range X {
+		for j, v := range x {
+			row[j] = float32(v)
+		}
+		ConvertRow32(row, keys[i*stride:(i+1)*stride])
+	}
+	out := make([]int, len(X))
+	scratch := &qScratch{}
+
+	if avg := testing.AllocsPerRun(50, func() {
+		q.ClassifyKeys32(keys, stride, len(X), out, scratch)
+	}); avg != 0 {
+		t.Errorf("ClassifyKeys32 allocates %v per run, want 0 (//lint:noalloc)", avg)
+	}
+}

@@ -305,6 +305,8 @@ func (q *QuantForest) Proba(x []float64) []float64 {
 // PredictBatch classifies every row of X into out with the early-exit
 // class kernel; answers match RandomForest.PredictBatch bit for bit on
 // float32-representable inputs.
+//
+//lint:noalloc serving batch entry; conversion and vote buffers come from the scratch pool
 func (q *QuantForest) PredictBatch(X [][]float64, out []int) []int {
 	out = resizeInts(out, len(X))
 	if len(X) == 0 {
@@ -370,6 +372,8 @@ func (s *qScratch) grow(n int) []int32 {
 // retiring a sample as soon as its leading class holds more votes than the
 // remaining trees could overturn (strictly more, so first-max tie-breaking
 // is preserved exactly). scratch may be nil.
+//
+//lint:noalloc quantized batch kernel; vote and index scratch grow behind warm-up guards
 func (q *QuantForest) ClassifyKeys32(X []uint32, stride, n int, out []int, scratch *qScratch) {
 	if n == 0 {
 		return

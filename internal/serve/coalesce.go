@@ -330,16 +330,7 @@ func (c *Coalescer) flush(batch []*pending) {
 	obsBatchSize.Observe(float64(len(live) + len(classed)))
 
 	if len(classed) > 0 {
-		x := c.x[:0]
-		for _, p := range classed {
-			x = append(x, p.x)
-		}
-		c.x = x
-		c.classes = m.pred.PredictBatch(x, c.classes)
-		for i, p := range classed {
-			p.dec = Decision{Action: dataset.Action(c.classes[i]), Model: m}
-			close(p.done)
-		}
+		c.classifyClassOnly(m, classed)
 	}
 	if len(live) == 0 {
 		return
@@ -360,6 +351,27 @@ func (c *Coalescer) flush(batch []*pending) {
 			Proba:  append(make([]float64, 0, nc), row...),
 			Model:  m,
 		}
+		close(p.done)
+	}
+}
+
+// classifyClassOnly answers the class-only partition (the binary wire's
+// default) against the captured snapshot: gather the feature rows into the
+// dispatcher's scratch, run the model's early-exit batch kernel once, and
+// fan the classes back out. This is the per-batch steady state of the
+// decide path — the throughput numbers in the shard benchmarks assume it
+// never touches the allocator, and the annotation makes that a merge gate.
+//
+//lint:noalloc steady-state decide path; scratch is dispatcher-owned and reused
+func (c *Coalescer) classifyClassOnly(m *Model, classed []*pending) {
+	x := c.x[:0]
+	for _, p := range classed {
+		x = append(x, p.x)
+	}
+	c.x = x
+	c.classes = m.pred.PredictBatch(x, c.classes)
+	for i, p := range classed {
+		p.dec = Decision{Action: dataset.Action(c.classes[i]), Model: m}
 		close(p.done)
 	}
 }

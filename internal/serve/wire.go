@@ -103,6 +103,8 @@ type WireResponse struct {
 }
 
 // appendDecideRequest appends one framed decide request to dst.
+//
+//lint:noalloc pipelined client encode path; frames append into the caller's buffer
 func appendDecideRequest(dst []byte, reqID, linkID uint64, wantProba bool, x []float32) []byte {
 	n := reqHeadLen + 4*len(x)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
@@ -121,11 +123,14 @@ func appendDecideRequest(dst []byte, reqID, linkID uint64, wantProba bool, x []f
 }
 
 // decodeDecideRequest parses a frameDecide payload, reusing req.X.
+//
+//lint:noalloc per-request decode path; the feature slice is connection-owned
 func decodeDecideRequest(payload []byte, req *wireRequest) error {
 	if len(payload) < reqHeadLen {
 		return errFrameTruncated
 	}
 	if payload[0] != frameDecide {
+		//lint:ignore noalloc malformed-frame error path, not steady state
 		return fmt.Errorf("serve: unexpected frame type %d", payload[0])
 	}
 	req.Flags = payload[1]
@@ -146,6 +151,8 @@ func decodeDecideRequest(payload []byte, req *wireRequest) error {
 }
 
 // appendResult appends one framed success response to dst. proba may be nil.
+//
+//lint:noalloc per-response encode path; frames append into the connection's buffer
 func appendResult(dst []byte, reqID uint64, action uint8, modelID uint32, proba []float32) []byte {
 	n := respHeadLen + 4*len(proba)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
@@ -159,6 +166,8 @@ func appendResult(dst []byte, reqID uint64, action uint8, modelID uint32, proba 
 }
 
 // appendWireError appends one framed error response to dst.
+//
+//lint:noalloc shed path must not allocate — overload is exactly when it runs hottest
 func appendWireError(dst []byte, reqID uint64, code uint8) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, respHeadLen)
 	dst = append(dst, frameError, code, 0, 0)
@@ -169,12 +178,15 @@ func appendWireError(dst []byte, reqID uint64, code uint8) []byte {
 
 // decodeResponse parses a frameResult or frameError payload, reusing
 // resp.Proba.
+//
+//lint:noalloc pipelined client decode path; the proba slice is client-owned
 func decodeResponse(payload []byte, resp *WireResponse) error {
 	if len(payload) < respHeadLen {
 		return errFrameTruncated
 	}
 	typ := payload[0]
 	if typ != frameResult && typ != frameError {
+		//lint:ignore noalloc malformed-frame error path, not steady state
 		return fmt.Errorf("serve: unexpected frame type %d", typ)
 	}
 	nc := int(payload[2])
