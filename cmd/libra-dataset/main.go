@@ -8,7 +8,9 @@
 // Usage:
 //
 //	libra-dataset [-seed N] [-which main|test|both] [-workers N]
-//	              [-json] [-digest] [-o FILE]
+//	              [-json] [-digest] [-o FILE] [-metrics-out FILE]
+//	              [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	              [-pprof ADDR]
 //
 // -workers sets both the campaign generation and the .lds chunk-encode
 // worker counts; the output bytes are identical for every value (the
@@ -27,6 +29,7 @@ import (
 
 	"github.com/libra-wlan/libra/internal/dataset"
 	"github.com/libra-wlan/libra/internal/experiments"
+	"github.com/libra-wlan/libra/internal/obs"
 )
 
 // jsonEntry is the export schema of one dataset entry.
@@ -94,7 +97,11 @@ func main() {
 	asJSON := flag.Bool("json", false, "dump entries as JSON lines instead of summaries")
 	digest := flag.Bool("digest", false, "print each campaign's content digest instead of summaries")
 	out := flag.String("o", "", "write the campaign as a libra-ds v1 (.lds) file (requires -which main or -which test)")
+	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
+	if err := oc.Start(); err != nil {
+		log.Fatal(err)
+	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
@@ -138,5 +145,8 @@ func main() {
 	}
 	if wantTest {
 		show(s.Test(), experiments.Table2)
+	}
+	if err := oc.Stop(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -26,6 +26,18 @@
 //
 // -json writes the results as a machine-readable artifact (the repo commits
 // these as BENCH_<date>_serve.json / BENCH_<date>_shard.json).
+//
+// Request identity is global and worker-count invariant: request g of a run
+// carries req_id g and link_id g mod the replay length, whatever -c is.
+// With -feedback the generator also reports each request's campaign ground
+// truth back to the server — over the binary feedback frame in http mode,
+// or straight into the router's join path in shard mode — so a serve-side
+// audit stream (libra-serve -audit-out, or shard mode's own -audit-out)
+// carries joinable truth records and libra-report can compute
+// accuracy-over-window. Shard mode's -audit-out/-audit-sample write the
+// fleet's LDL1 decision log in-process; because sampling keys on request
+// identity, the log's canonical digest and the drift report derived from it
+// are byte-identical across -c (DESIGN.md §8).
 package main
 
 import (
@@ -41,7 +53,6 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
-	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,6 +61,8 @@ import (
 	"github.com/libra-wlan/libra/internal/core"
 	"github.com/libra-wlan/libra/internal/dataset"
 	"github.com/libra-wlan/libra/internal/ml"
+	"github.com/libra-wlan/libra/internal/obs"
+	"github.com/libra-wlan/libra/internal/obs/decisionlog"
 	"github.com/libra-wlan/libra/internal/serve"
 )
 
@@ -74,18 +87,13 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "coalescer batch bound for the batched run")
 	maxLinger := flag.Duration("max-linger", 200*time.Microsecond, "coalescer linger for the batched run")
 	jsonOut := flag.String("json", "", "write a JSON results artifact to this file")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file` for the benchmark window")
+	feedback := flag.Bool("feedback", false, "report campaign ground truth for every request (binary feedback frames in http mode, in-process joins in shard mode)")
+	auditOut := flag.String("audit-out", "", "shard mode: write the fleet's per-decision LDL1 audit log to this file")
+	auditSample := flag.Uint64("audit-sample", 1, "shard mode: deterministic 1-in-N audit sampling divisor")
+	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+	if err := oc.Start(); err != nil {
+		log.Fatal(err)
 	}
 
 	log.Printf("generating test campaign (seed %d)", *seed)
@@ -101,7 +109,7 @@ func main() {
 		case "json":
 			runHTTP(*url, replay, *conc, *n, *warm, *jsonOut)
 		case "binary":
-			res := driveBinary("binary", *target, replay, newRows32(replay), *conc, *n, *warm, *pipeline)
+			res := driveBinary("binary", *target, replay, newRows32(replay), *conc, *n, *warm, *pipeline, *feedback)
 			fmt.Println(res)
 			writeArtifact(*jsonOut, artifact{Runs: []engineResult{res}})
 		default:
@@ -109,9 +117,13 @@ func main() {
 		}
 	case "shard":
 		runShard(replay, *conc, *n, *warm, *seed, *trees, *depth, *model,
-			*maxBatch, *maxLinger, *shards, *pipeline, *modelFormat, *runs, *jsonOut)
+			*maxBatch, *maxLinger, *shards, *pipeline, *modelFormat, *runs, *jsonOut,
+			*feedback, *auditOut, *auditSample)
 	default:
 		log.Fatalf("unknown -mode %q (want compare, http, or shard)", *mode)
+	}
+	if err := oc.Stop(); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -448,8 +460,14 @@ func newRows32(replay *serve.Replay) [][]float32 {
 // each with its own connection keeping up to pipeline requests in flight,
 // responses drained in FIFO order. Latency is measured submit-to-response
 // (it includes the worker's own pipeline queueing — the closed-loop view).
+//
+// Request g of a run carries req_id g globally (worker w issues the
+// residue class g ≡ w mod conc), so the set of served request identities —
+// and therefore the server's deterministic audit sample — is invariant
+// across worker counts. With feedback, each drained response is followed by
+// a fire-and-forget ground-truth frame for its request.
 func driveBinary(label, addr string, replay *serve.Replay, rows32 [][]float32,
-	conc, n, warm, pipeline int) engineResult {
+	conc, n, warm, pipeline int, feedback bool) engineResult {
 
 	if pipeline < 1 {
 		pipeline = 1
@@ -475,12 +493,13 @@ func driveBinary(label, addr string, replay *serve.Replay, rows32 [][]float32,
 				sent, recvd := 0, 0
 				for recvd < myTotal {
 					for sent < myTotal && sent-recvd < p {
-						i := (w + sent*conc) % len(rows32)
+						g := w + sent*conc
+						i := g % len(rows32)
 						starts[sent%p] = time.Now()
 						idxs[sent%p] = i
 						// The replay index doubles as the link ID, spreading
 						// links across the ring.
-						if err := c.Send(uint64(sent), uint64(i), rows32[i], false); err != nil {
+						if err := c.Send(uint64(g), uint64(i), rows32[i], false); err != nil {
 							done <- err
 							return
 						}
@@ -503,20 +522,36 @@ func driveBinary(label, addr string, replay *serve.Replay, rows32 [][]float32,
 							done <- fmt.Errorf("%s: recv after %d: %w", label, recvd, err)
 							return
 						}
-						if resp.ReqID != uint64(recvd) {
+						g := w + recvd*conc
+						if resp.ReqID != uint64(g) {
 							done <- fmt.Errorf("%s: response order broken: got req %d want %d",
-								label, resp.ReqID, recvd)
+								label, resp.ReqID, g)
 							return
 						}
+						idx := idxs[recvd%p]
 						if lats != nil {
 							lats[w] = append(lats[w], time.Since(starts[recvd%p]))
 							if resp.Err != 0 {
 								errs[w]++
-							} else if int(resp.Action) == int(replay.LabelAt(idxs[recvd%p])) {
+							} else if int(resp.Action) == int(replay.LabelAt(idx)) {
 								hits[w]++
 							}
 						}
+						if feedback && resp.Err == 0 {
+							if err := c.SendFeedback(uint64(g), uint64(idx), uint8(replay.LabelAt(idx))); err != nil {
+								done <- err
+								return
+							}
+						}
 						recvd++
+					}
+				}
+				if feedback {
+					// The trailing feedback frames are still in the client
+					// buffer; push them before the connection closes.
+					if err := c.Flush(); err != nil {
+						done <- err
+						return
 					}
 				}
 				done <- nil
@@ -572,7 +607,8 @@ func driveBinary(label, addr string, replay *serve.Replay, rows32 [][]float32,
 // features the wire carries.
 func runShard(replay *serve.Replay, conc, n, warm int,
 	seed int64, trees, depth int, model string, maxBatch int, maxLinger time.Duration,
-	shards, pipeline int, modelFormat string, runs int, jsonOut string) {
+	shards, pipeline int, modelFormat string, runs int, jsonOut string,
+	feedback bool, auditOut string, auditSample uint64) {
 
 	var rf *ml.RandomForest
 	if model != "" {
@@ -673,6 +709,30 @@ func runShard(replay *serve.Replay, conc, n, warm int,
 		Coalescer: serve.CoalescerConfig{MaxBatch: maxBatch, MaxLinger: maxLinger, QueueDepth: 4 * conc * pipeline},
 	})
 	defer rt.Close()
+
+	// The optional audit stream: every sampled decision the fleet serves
+	// lands in an LDL1 log whose canonical digest is worker-count invariant
+	// (sampling keys on the global request identity, never on scheduling).
+	var auditLog *decisionlog.Log
+	var auditFile *os.File
+	if auditOut != "" {
+		f, err := os.Create(auditOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auditFile = f
+		auditLog, err = decisionlog.New(f, decisionlog.Config{
+			NFeat:  dataset.NumFeatures,
+			Rings:  shards,
+			Sample: auditSample,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt.SetAudit(auditLog)
+		log.Printf("audit stream on %s (1-in-%d sampling)", auditOut, max(auditSample, 1))
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -696,13 +756,25 @@ func runShard(replay *serve.Replay, conc, n, warm int,
 		if r > 0 {
 			w = 0 // the first run's warmup already primed caches and pools
 		}
-		got := driveBinary(label, ln.Addr().String(), replay, rows32, conc, n, w, pipeline)
+		got := driveBinary(label, ln.Addr().String(), replay, rows32, conc, n, w, pipeline, false)
 		got.MaxBatch = maxBatch
 		fmt.Println(got)
 		all = append(all, got)
 		if got.Throughput > res.Throughput {
 			res = got
 		}
+	}
+
+	// Ground truth goes straight into the router's join path after the drive
+	// — one truth per request identity, in request order — rather than over
+	// the wire, so the audit stream's truth records never race a shutdown and
+	// the log is reproducible byte-for-byte.
+	if feedback {
+		for g := 0; g < n; g++ {
+			idx := g % replay.Len()
+			rt.Feedback(uint64(g), uint64(idx), uint8(replay.LabelAt(idx)))
+		}
+		log.Printf("joined %d ground-truth labels into the audit stream", n)
 	}
 
 	// Shard accounting must add up: every admitted request on exactly one
@@ -713,6 +785,22 @@ func runShard(replay *serve.Replay, conc, n, warm int,
 	}
 	if admitted < uint64(n*runs) {
 		log.Fatalf("shards admitted %d requests, expected at least %d", admitted, n*runs)
+	}
+
+	// Seal the audit log before reporting: stop the listener and the shards
+	// (both idempotent — the deferred Closes become no-ops), then flush.
+	if auditLog != nil {
+		srv.Close()
+		rt.Close()
+		if err := auditLog.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := auditFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if d := auditLog.Drops(); d > 0 {
+			log.Printf("audit log sealed with %d ring drops", d)
+		}
 	}
 
 	// The baseline this bench exists to beat: batched HTTP/JSON from

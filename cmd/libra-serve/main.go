@@ -9,6 +9,8 @@
 //	libra-serve [-addr :8060] [-binary-addr :8061] [-model FILE]
 //	            [-model-format float64|quant32] [-shards N]
 //	            [-max-batch N] [-max-linger D] [-queue-depth N] [-timeout D]
+//	            [-audit-out FILE] [-audit-sample N]
+//	            [-drift-profile FILE] [-drift-window N]
 //
 // The decide plane is sharded: -shards coalescers behind a consistent-hash
 // router keyed on link ID, all sharing one registry (a hot-swap reaches
@@ -16,6 +18,14 @@
 // binary decide protocol (DESIGN.md §9) on the same shards; HTTP stays up
 // as the control plane. -model-format quant32 compiles loaded forests to
 // the quantized flat representation.
+//
+// -audit-out streams every served decision (1-in-N sampled by
+// -audit-sample, deterministically on request identity) into a checksummed
+// LDL1 audit log (DESIGN.md §8); ground truth posted to /v1/feedback or the
+// binary feedback frame lands in the same stream. -drift-profile attaches a
+// live drift monitor fed from the audit drain: per-feature PSI/KS and
+// action-shift gauges against the training reference profile emitted by
+// libra-train -profile-out, windowed every -drift-window decisions.
 //
 // Without -model the server starts not-ready (/readyz 503) and waits for
 // the first POST /models. SIGINT/SIGTERM drain gracefully: the listeners
@@ -35,7 +45,10 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/libra-wlan/libra/internal/dataset"
 	"github.com/libra-wlan/libra/internal/obs"
+	"github.com/libra-wlan/libra/internal/obs/decisionlog"
+	"github.com/libra-wlan/libra/internal/obs/drift"
 	"github.com/libra-wlan/libra/internal/serve"
 )
 
@@ -54,6 +67,10 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 1024, "admission queue bound; beyond it requests shed with 429")
 	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM")
+	auditOut := flag.String("audit-out", "", "write the per-decision LDL1 audit log to this file")
+	auditSample := flag.Uint64("audit-sample", 1, "deterministic 1-in-N audit sampling divisor (1 keeps every decision)")
+	driftProfile := flag.String("drift-profile", "", "training reference profile (libra-train -profile-out) for live drift monitoring; requires -audit-out")
+	driftWindow := flag.Int("drift-window", 1024, "decision records per drift window")
 	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
 	if err := oc.Start(); err != nil {
@@ -88,6 +105,42 @@ func main() {
 		Shards:         *shards,
 		DefaultTimeout: *timeout,
 	})
+
+	var auditLog *decisionlog.Log
+	if *auditOut != "" {
+		var onRecord func(*decisionlog.Record)
+		if *driftProfile != "" {
+			prof, err := drift.LoadFile(*driftProfile)
+			if err != nil {
+				log.Fatalf("loading %s: %v", *driftProfile, err)
+			}
+			mon, err := drift.NewMonitor(drift.Config{Profile: prof, WindowRecords: *driftWindow})
+			if err != nil {
+				log.Fatal(err)
+			}
+			onRecord = mon.Observe
+			log.Printf("drift monitor armed against profile %q (window %d)", prof.Name, *driftWindow)
+		}
+		f, err := os.Create(*auditOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auditLog, err = decisionlog.New(f, decisionlog.Config{
+			NFeat:    dataset.NumFeatures,
+			Rings:    *shards,
+			Sample:   *auditSample,
+			OnRecord: onRecord,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		s.Router().SetAudit(auditLog)
+		log.Printf("audit stream on %s (1-in-%d sampling, %d rings)", *auditOut, max(*auditSample, 1), *shards)
+	} else if *driftProfile != "" {
+		log.Fatal("-drift-profile requires -audit-out (the monitor taps the audit drain)")
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	var binSrv *serve.BinaryServer
@@ -131,6 +184,16 @@ func main() {
 		binSrv.Close()
 	}
 	s.Close()
+	// The audit log closes only after every producer (HTTP handlers, binary
+	// connections, the coalescer shards) has drained: Close flushes the rings,
+	// writes the footer checksums, and seals the file.
+	if auditLog != nil {
+		if err := auditLog.Close(); err != nil {
+			log.Printf("audit log: %v", err)
+		} else if d := auditLog.Drops(); d > 0 {
+			log.Printf("audit log sealed with %d ring drops", d)
+		}
+	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("listener: %v", err)
 	}

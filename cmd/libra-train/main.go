@@ -6,9 +6,9 @@
 // Usage:
 //
 //	libra-train [-seed N] [-reps N] [-data FILE] [-o FILE] [-fit-only]
-//	            [-verify-quant] [-trees N] [-depth N] [-metrics-out FILE]
-//	            [-trace-out FILE] [-cpuprofile FILE] [-memprofile FILE]
-//	            [-pprof ADDR]
+//	            [-verify-quant] [-trees N] [-depth N] [-profile-out FILE]
+//	            [-profile-bins N] [-metrics-out FILE] [-trace-out FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //
 // -data loads the main (training) campaign from a libra-ds v1 (.lds) file
 // written by libra-dataset -o, skipping channel-model generation entirely;
@@ -23,6 +23,12 @@
 // -model-format quant32 deploys) and proves class parity against the float64
 // flat arrays on the float32-narrowed test campaign — the same wire-exactness
 // gate the shard bench enforces.
+//
+// -profile-out freezes the training campaign's feature and class
+// distributions into a drift reference profile (JSON): equal-frequency bin
+// edges and proportions per feature plus the action prior. libra-serve
+// -drift-profile and libra-report -profile compare live decision traffic
+// against it (DESIGN.md §8).
 package main
 
 import (
@@ -50,13 +56,15 @@ func main() {
 	verifyQuant := flag.Bool("verify-quant", false, "quantize the trained forest and report class parity vs the float64 arrays on the test campaign")
 	trees := flag.Int("trees", 80, "forest size of the saved model")
 	depth := flag.Int("depth", 12, "maximum tree depth of the saved model")
+	profileOut := flag.String("profile-out", "", "write the training-distribution drift reference profile (JSON) to this file")
+	profileBins := flag.Int("profile-bins", 10, "equal-frequency bins per feature in the drift profile")
 	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
 	if *out == "" {
 		*out = *save
 	}
-	if *fitOnly && *out == "" && !*verifyQuant {
-		log.Fatal("-fit-only needs -o FILE (or -verify-quant) to have something to do")
+	if *fitOnly && *out == "" && !*verifyQuant && *profileOut == "" {
+		log.Fatal("-fit-only needs -o FILE (or -verify-quant or -profile-out) to have something to do")
 	}
 	if err := oc.Start(); err != nil {
 		log.Fatal(err)
@@ -97,6 +105,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(cr)
+	}
+
+	// The drift reference freezes the exact distribution the shipped model is
+	// fitted on (the 3-class main-campaign view), so serve-side PSI/KS compare
+	// like with like.
+	if *profileOut != "" {
+		camp := s.Main()
+		prof, err := ml.ReferenceProfile(camp.Name, camp.ToML(true), *profileBins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := prof.SaveFile(*profileOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("drift reference profile (%d features, %d bins) written to %s\n",
+			len(prof.Features), *profileBins, *profileOut)
 	}
 
 	if *out != "" || *verifyQuant {

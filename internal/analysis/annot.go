@@ -21,21 +21,29 @@ import (
 //	                              path: the noalloc analyzer forbids
 //	                              allocation sites in its body and calls to
 //	                              callees it cannot prove allocation-free.
+//	//lint:clockfree <reason>   — package-level (package doc) directive: no
+//	                              function in the package may reach a
+//	                              wall-clock read through any call path. The
+//	                              clocksep analyzer enforces it; the drift
+//	                              and decision-log packages carry it so
+//	                              their windowed statistics provably derive
+//	                              from record order, never the wall clock.
 //
-// Both directives live in the function's doc comment (any line of it), so
+// The directives live in the function's doc comment (any line of it), so
 // the contract travels with the API documentation. Line-level escape hatches
 // remain the existing //lint:ignore <analyzer> <reason> comments.
 
 // An Annotation is one parsed lint directive.
 type Annotation struct {
-	Kind   string // "wallclock" or "noalloc"
-	Reason string // justification text; mandatory for wallclock
+	Kind   string // "wallclock", "noalloc", or "clockfree"
+	Reason string // justification text; mandatory for wallclock and clockfree
 	Pos    token.Pos
 }
 
 const (
 	annotWallclock = "wallclock"
 	annotNoalloc   = "noalloc"
+	annotClockfree = "clockfree"
 )
 
 // parseAnnotations extracts the lint directives from one doc comment group.
@@ -54,12 +62,12 @@ func parseAnnotations(doc *ast.CommentGroup) []*Annotation {
 			continue
 		}
 		switch fields[0] {
-		case "lint:" + annotWallclock:
+		case "lint:" + annotWallclock, "lint:" + annotClockfree:
 			if len(fields) < 2 {
-				continue // no reason: not a valid sanction
+				continue // no reason: not a valid contract
 			}
 			out = append(out, &Annotation{
-				Kind:   annotWallclock,
+				Kind:   strings.TrimPrefix(fields[0], "lint:"),
 				Reason: strings.Join(fields[1:], " "),
 				Pos:    c.Pos(),
 			})

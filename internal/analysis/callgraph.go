@@ -107,6 +107,11 @@ type Program struct {
 	// annotation, when one is present in the package doc.
 	pkgWallclock map[string]*Annotation
 
+	// pkgClockfree maps a package path to its package-level //lint:clockfree
+	// annotation: the clocksep analyzer bans every function in such a
+	// package from reaching the wall clock.
+	pkgClockfree map[string]*Annotation
+
 	// named collects every named type defined by a target package, the
 	// candidate set for interface-call resolution.
 	named []*types.Named
@@ -127,12 +132,16 @@ func (p *Program) FuncAt(fn *types.Func) *FuncNode {
 // PkgWallclock returns the package-level wallclock annotation for path.
 func (p *Program) PkgWallclock(path string) *Annotation { return p.pkgWallclock[path] }
 
+// PkgClockfree returns the package-level clockfree annotation for path.
+func (p *Program) PkgClockfree(path string) *Annotation { return p.pkgClockfree[path] }
+
 // BuildProgram indexes the packages into a call graph and computes the fact
 // summaries the contract analyzers consume.
 func BuildProgram(pkgs []*Package) *Program {
 	p := &Program{
 		Funcs:        make(map[string]*FuncNode),
 		pkgWallclock: make(map[string]*Annotation),
+		pkgClockfree: make(map[string]*Annotation),
 		Pkgs:         pkgs,
 	}
 	for _, pkg := range pkgs {
@@ -162,8 +171,12 @@ func (p *Program) indexPackage(pkg *Package) {
 		}
 	}
 	for _, f := range pkg.Files {
-		if a := annotationFor(parseAnnotations(f.Doc), annotWallclock); a != nil && pkg.Pkg != nil {
+		pkgAnnots := parseAnnotations(f.Doc)
+		if a := annotationFor(pkgAnnots, annotWallclock); a != nil && pkg.Pkg != nil {
 			p.pkgWallclock[pkg.Pkg.Path()] = a
+		}
+		if a := annotationFor(pkgAnnots, annotClockfree); a != nil && pkg.Pkg != nil {
+			p.pkgClockfree[pkg.Pkg.Path()] = a
 		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

@@ -8,6 +8,12 @@
 // not its use in trace output — and no wall-clock-tainted value may reach a
 // trace event field (the obs.F/Fint/Ffloat constructors or a Stream.Event
 // argument).
+//
+// The same reachability engine also enforces //lint:clockfree packages:
+// a package whose doc carries the directive (the drift monitors and the
+// decision-log writer) promises that NO function in it can reach a
+// wall-clock read through any call path, so its output provably derives
+// from record order and window indices alone.
 package clocksep
 
 import (
@@ -22,8 +28,9 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "enforces the obs two-clock rule interprocedurally: no call path " +
 		"from sim-time tracer code (obs Tracer/Stream methods) to " +
 		"time.Now/Since/Until — //lint:wallclock annotations sanction metrics " +
-		"reads, not tracer reachability — and no wall-clock-tainted value " +
-		"passed to obs.F/Fint/Ffloat or Stream.Event trace fields",
+		"reads, not tracer reachability — no wall-clock-tainted value " +
+		"passed to obs.F/Fint/Ffloat or Stream.Event trace fields, and no " +
+		"function in a //lint:clockfree package reaching the wall clock at all",
 	Run: run,
 }
 
@@ -36,6 +43,10 @@ var fieldCtors = map[string]bool{"F": true, "Fint": true, "Ffloat": true}
 func run(pass *analysis.Pass) (any, error) {
 	if pass.Prog == nil {
 		return nil, nil
+	}
+	var clockfree *analysis.Annotation
+	if pass.Pkg != nil {
+		clockfree = pass.Prog.PkgClockfree(pass.Pkg.Path())
 	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -55,6 +66,11 @@ func run(pass *analysis.Pass) (any, error) {
 				if path := pass.Prog.ClockReachable(node.ID); path != nil {
 					pass.Reportf(fd.Pos(),
 						"sim-time tracer %s can reach the wall clock: %s; trace output must derive its times from the simulation clock", node.Name(), analysis.PathString(path))
+				}
+			} else if clockfree != nil {
+				if path := pass.Prog.ClockReachable(node.ID); path != nil {
+					pass.Reportf(fd.Pos(),
+						"//lint:clockfree package %s: %s can reach the wall clock: %s; drift/audit statistics must derive from record order and window indices, with latencies arriving as plain data", pass.Pkg.Name(), node.Name(), analysis.PathString(path))
 				}
 			}
 			checkFieldArgs(pass, node)

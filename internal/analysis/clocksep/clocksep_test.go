@@ -8,5 +8,6 @@ import (
 )
 
 func TestClocksep(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), clocksep.Analyzer, "obs")
+	analysistest.Run(t, analysistest.TestData(t), clocksep.Analyzer,
+		"obs", "drift", "decisionlog")
 }

@@ -1,0 +1,49 @@
+// Package decisionlog mirrors internal/obs/decisionlog: the audit-stream
+// writer is //lint:clockfree — stage latencies arrive as plain u32 data
+// stamped by the serving layer (which carries its own //lint:wallclock
+// sanctions); the ring, the drain loop, and the container writer never
+// read a clock, so the log bytes depend only on publish order.
+//
+//lint:clockfree audit log bytes must depend on publish order, not arrival time
+package decisionlog
+
+import "time"
+
+// Record is one fixed-width audit record; latencies are plain data.
+type Record struct {
+	ReqID        uint64
+	LatPredictNs uint32
+}
+
+// Ring is a bounded single-consumer queue of records.
+type Ring struct {
+	slots []Record
+	head  int
+	tail  int
+}
+
+// Publish copies the record in: clean — no clock, the latency field is
+// caller-supplied data.
+func (r *Ring) Publish(rec *Record) bool {
+	if r.head-r.tail == len(r.slots) {
+		return false
+	}
+	r.slots[r.head%len(r.slots)] = *rec
+	r.head++
+	return true
+}
+
+// Drain hands buffered records to the writer: clean.
+func (r *Ring) Drain(emit func(*Record)) {
+	for r.tail < r.head {
+		emit(&r.slots[r.tail%len(r.slots)])
+		r.tail++
+	}
+}
+
+// badStamp fills the latency from the writer's own clock read instead of
+// the caller's data — the exact corruption the directive exists to stop.
+func badStamp(r *Ring, reqID uint64, t0 time.Time) bool { // want `//lint:clockfree package decisionlog: badStamp can reach the wall clock: badStamp`
+	rec := Record{ReqID: reqID, LatPredictNs: uint32(time.Since(t0))}
+	return r.Publish(&rec)
+}

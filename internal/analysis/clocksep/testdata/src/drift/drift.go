@@ -1,0 +1,55 @@
+// Package drift mirrors internal/obs/drift: a //lint:clockfree package.
+// Every function — windowed statistics, monitors, helpers — is banned from
+// reaching a wall-clock read through any call path, so windowed drift
+// output provably depends on record order alone, never on arrival time.
+//
+//lint:clockfree windowed drift statistics must replay byte-identically
+package drift
+
+import "time"
+
+// Window accumulates per-bin counts for one statistics window.
+type Window struct {
+	counts []uint64
+	n      int
+}
+
+// Observe bins one value by index: clean — pure record-order arithmetic.
+func (w *Window) Observe(bin int) {
+	w.counts[bin]++
+	w.n++
+}
+
+// psi is a pure statistic over proportions: clean.
+func psi(ref, win []float64) float64 {
+	var s float64
+	for i := range ref {
+		s += (win[i] - ref[i])
+	}
+	return s
+}
+
+// Roll computes the window statistic from counts alone: clean.
+func (w *Window) Roll(ref []float64) float64 {
+	win := make([]float64, len(w.counts))
+	for i, c := range w.counts {
+		win[i] = float64(c) / float64(w.n)
+	}
+	return psi(ref, win)
+}
+
+// stamp hides a wall-clock read one call deep — itself a violation here:
+// clockfree bans every function in the package, helpers included.
+func stamp() int64 { return time.Now().UnixNano() } // want `//lint:clockfree package drift: stamp can reach the wall clock: stamp`
+
+// badRoll stamps the window close with the wall clock — in a clockfree
+// package even an indirect reach is a violation.
+func badRoll(w *Window) int64 { // want `//lint:clockfree package drift: badRoll can reach the wall clock: badRoll → stamp`
+	_ = w.n
+	return stamp()
+}
+
+// badDirect reads the clock in its own body: same violation, zero-length path.
+func badDirect() time.Time { // want `//lint:clockfree package drift: badDirect can reach the wall clock: badDirect`
+	return time.Now()
+}

@@ -1,0 +1,75 @@
+package ml_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/dataset"
+	"github.com/libra-wlan/libra/internal/ml"
+	"github.com/libra-wlan/libra/internal/obs/decisionlog"
+	"github.com/libra-wlan/libra/internal/obs/drift"
+)
+
+// feedDataset replays a dataset's rows as decision records through a fresh
+// monitor against profile p and returns it. Rows are shuffled with a fixed
+// seed: campaign datasets are ordered by environment, and the scenario here
+// is stationary traffic from a whole distribution, not a site-by-site sweep
+// (which would — correctly — show per-segment drift).
+func feedDataset(t *testing.T, p *drift.Profile, d *ml.Dataset, window int) *drift.Monitor {
+	t.Helper()
+	m, err := drift.NewMonitor(drift.Config{Profile: p, WindowRecords: window, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := rand.New(rand.NewSource(7)).Perm(len(d.X))
+	for i, ri := range order {
+		row := d.X[ri]
+		r := decisionlog.Record{Kind: decisionlog.KindDecision, ReqID: uint64(i), Action: uint8(d.Y[ri])}
+		for f := range row {
+			r.Feat[f] = float32(row[f])
+		}
+		m.Observe(&r)
+	}
+	m.Flush()
+	return m
+}
+
+// TestReferenceProfileCrossCampaignDrift is the paper's deployment-shift
+// scenario: a profile frozen from the main (training) campaign must see its
+// own traffic as stable, and the testing campaign's traffic — different
+// buildings, different impairment mix — as drifted, at the default trip
+// threshold.
+func TestReferenceProfileCrossCampaignDrift(t *testing.T) {
+	main := dataset.GenerateMain(1).ToML(true)
+	p, err := ml.ReferenceProfile("main", main, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Features) != main.NumFeatures() || p.Features[0].Name != "SNR" {
+		t.Fatalf("profile features %v", p.Features)
+	}
+
+	in := feedDataset(t, p, main, 400)
+	if in.Trips() != 0 {
+		t.Errorf("in-distribution replay tripped %d windows", in.Trips())
+	}
+	for _, w := range in.Windows() {
+		// The final partial window has too few records for a tight bound;
+		// the trip check above already covers it.
+		if w.Records == 400 && w.PSIMax > 0.05 {
+			t.Errorf("in-distribution window %d PSI %v, want ~0", w.Index, w.PSIMax)
+		}
+	}
+
+	test := dataset.GenerateTest(2).ToML(true)
+	out := feedDataset(t, p, test, 400)
+	if out.Trips() == 0 {
+		t.Error("cross-campaign replay tripped no windows")
+	}
+}
+
+func TestReferenceProfileRejectsEmpty(t *testing.T) {
+	if _, err := ml.ReferenceProfile("empty", &ml.Dataset{}, 10); err == nil {
+		t.Fatal("empty dataset produced a profile")
+	}
+}

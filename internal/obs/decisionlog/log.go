@@ -1,0 +1,410 @@
+package decisionlog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"github.com/libra-wlan/libra/internal/obs"
+)
+
+// LDL1 on-disk layout (all integers little-endian, mirroring libra-ds):
+//
+//	header   "LDL1" | u8 version=1 | u8 nfeat | u16 reserved |
+//	         u32 chunkRecords | u32 reserved2                   (16 bytes)
+//	chunk    "CHNK" | u32 records | u32 payloadLen | payload    (repeated)
+//	footer   "LDLF" | u64 totalRecords | u64 drops | u32 chunkCount |
+//	         chunkCount x 32-byte SHA-256 over each chunk payload
+//	trailer  u64 footerOffset | "LDL1FTR\0"                     (16 bytes)
+//
+// The reader is fail-closed: a bad magic, version, frame bound, chunk-count
+// or record-count mismatch, or checksum mismatch yields ErrCorrupt — a
+// truncated or bit-flipped audit log is evidence, never silently partial
+// data.
+var (
+	ldlMagic   = [4]byte{'L', 'D', 'L', '1'}
+	ldlChunk   = [4]byte{'C', 'H', 'N', 'K'}
+	ldlFooter  = [4]byte{'L', 'D', 'L', 'F'}
+	ldlTrailer = [8]byte{'L', 'D', 'L', '1', 'F', 'T', 'R', 0}
+)
+
+const (
+	ldlVersion    = 1
+	ldlHeadBytes  = 16
+	ldlTrailBytes = 16
+)
+
+// ErrCorrupt reports an audit log that fails structural or checksum
+// validation.
+var ErrCorrupt = errors.New("decisionlog: corrupt audit log")
+
+var (
+	obsAuditRecords = obs.NewCounter("libra_audit_records_total", "decision records written to the audit log")
+	obsAuditDrops   = obs.NewCounter("libra_audit_drops_total", "decision records dropped because an audit ring was full")
+	obsAuditBytes   = obs.NewCounter("libra_audit_bytes_total", "bytes written to the audit log")
+	obsAuditChunks  = obs.NewCounter("libra_audit_chunks_total", "chunks flushed to the audit log")
+)
+
+// Config sizes a Log.
+type Config struct {
+	// NFeat is the per-record feature count (1..MaxFeatures).
+	NFeat int
+	// Rings is the number of independent producer rings — one per serve
+	// shard, so shards never contend on a head CAS. Default 1.
+	Rings int
+	// RingRecords is each ring's capacity (rounded up to a power of two).
+	// Default 4096.
+	RingRecords int
+	// ChunkRecords is the flush granularity of the writer. Default 1024.
+	ChunkRecords int
+	// Sample is the deterministic 1-in-N sampling divisor; 0 or 1 keeps
+	// every decision.
+	Sample uint64
+	// OnRecord, when set, is invoked by the writer goroutine — never a
+	// producer — for each drained record, in drain order, before the bytes
+	// are chunked. Live drift monitors tap the stream here, off the decide
+	// hot path and single-threaded by construction. The *Record is scratch:
+	// valid only for the duration of the call.
+	OnRecord func(*Record)
+}
+
+// A Log drains per-shard rings into one LDL1 stream. Producers call
+// Sampled + Publish on the decide hot path; a single writer goroutine,
+// nudged by a channel (never a timer — the package is //lint:clockfree),
+// encodes chunks and checksums. Close flushes, writes the footer and
+// trailer, and returns the first write error.
+//
+// Shutdown contract: all producers must have stopped before Close; the
+// serving layer guarantees this by draining its shards first.
+type Log struct {
+	w     io.Writer
+	cfg   Config
+	rings []*Ring
+
+	notify chan struct{} // producers nudge, capacity 1, never closed
+	quit   chan struct{}
+	done   chan struct{}
+
+	// writer-goroutine state
+	buf     []byte
+	scratch Record
+	bufRecs uint32
+	sums    [][sha256.Size]byte
+	off     int64
+	total   uint64
+	werr    error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New writes the LDL1 header to w and starts the writer goroutine.
+func New(w io.Writer, cfg Config) (*Log, error) {
+	if cfg.NFeat < 1 || cfg.NFeat > MaxFeatures {
+		return nil, fmt.Errorf("decisionlog: NFeat %d out of range [1,%d]", cfg.NFeat, MaxFeatures)
+	}
+	if cfg.Rings < 1 {
+		cfg.Rings = 1
+	}
+	if cfg.RingRecords < 1 {
+		cfg.RingRecords = 4096
+	}
+	if cfg.ChunkRecords < 1 {
+		cfg.ChunkRecords = 1024
+	}
+	l := &Log{
+		w:      w,
+		cfg:    cfg,
+		rings:  make([]*Ring, cfg.Rings),
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		buf:    make([]byte, 0, cfg.ChunkRecords*RecordBytes(cfg.NFeat)),
+	}
+	for i := range l.rings {
+		l.rings[i] = NewRing(cfg.RingRecords, cfg.NFeat)
+	}
+	var head [ldlHeadBytes]byte
+	copy(head[:4], ldlMagic[:])
+	head[4] = ldlVersion
+	head[5] = uint8(cfg.NFeat)
+	binary.LittleEndian.PutUint32(head[8:], uint32(cfg.ChunkRecords))
+	if _, err := w.Write(head[:]); err != nil {
+		return nil, fmt.Errorf("decisionlog: writing header: %w", err)
+	}
+	l.off = ldlHeadBytes
+	obsAuditBytes.Add(ldlHeadBytes)
+	go l.run()
+	return l, nil
+}
+
+// Sampled reports whether (reqID, linkID) falls in this log's deterministic
+// sample.
+//
+//lint:noalloc sampling gate runs per decision on the hot path
+func (l *Log) Sampled(reqID, linkID uint64) bool {
+	return Sampled(l.cfg.Sample, reqID, linkID)
+}
+
+// Publish enqueues rec on ring (shard index, taken mod the ring count) and
+// nudges the writer. A full ring drops the record; Publish never blocks.
+//
+//lint:noalloc runs on the decide hot path for every sampled decision
+func (l *Log) Publish(ring int, rec *Record) bool {
+	ok := l.rings[ring%len(l.rings)].Publish(rec)
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+	return ok
+}
+
+// run is the single writer goroutine: drain every ring, flush full chunks,
+// sleep on the notify channel. No timer — flush cadence follows publish
+// cadence, keeping the package clock-free.
+func (l *Log) run() {
+	defer close(l.done)
+	sink := l.appendRecord // bind once; drain runs per nudge
+	for {
+		for _, r := range l.rings {
+			r.drain(sink)
+		}
+		l.flushFull()
+		select {
+		case <-l.notify:
+		case <-l.quit:
+			for _, r := range l.rings {
+				r.drain(sink)
+			}
+			l.flushFull()
+			l.flushChunk() // partial tail chunk
+			return
+		}
+	}
+}
+
+// appendRecord copies one encoded record into the chunk buffer and feeds
+// the optional tap. Writer-goroutine only.
+func (l *Log) appendRecord(encoded []byte) {
+	if l.cfg.OnRecord != nil {
+		if l.scratch.decodeFrom(encoded, l.cfg.NFeat) == nil {
+			l.cfg.OnRecord(&l.scratch)
+		}
+	}
+	l.buf = append(l.buf, encoded...)
+	l.bufRecs++
+	l.total++
+}
+
+// flushFull writes chunks while the buffer holds at least ChunkRecords.
+func (l *Log) flushFull() {
+	for l.bufRecs >= uint32(l.cfg.ChunkRecords) {
+		l.flushN(uint32(l.cfg.ChunkRecords))
+	}
+}
+
+// flushChunk writes whatever the buffer holds as one final chunk.
+func (l *Log) flushChunk() {
+	if l.bufRecs > 0 {
+		l.flushN(l.bufRecs)
+	}
+}
+
+func (l *Log) flushN(recs uint32) {
+	size := int(recs) * RecordBytes(l.cfg.NFeat)
+	payload := l.buf[:size]
+	var frame [12]byte
+	copy(frame[:4], ldlChunk[:])
+	binary.LittleEndian.PutUint32(frame[4:], recs)
+	binary.LittleEndian.PutUint32(frame[8:], uint32(size))
+	l.sums = append(l.sums, sha256.Sum256(payload))
+	if l.werr == nil {
+		if _, err := l.w.Write(frame[:]); err != nil {
+			l.werr = fmt.Errorf("decisionlog: writing chunk frame: %w", err)
+		} else if _, err := l.w.Write(payload); err != nil {
+			l.werr = fmt.Errorf("decisionlog: writing chunk payload: %w", err)
+		}
+	}
+	l.off += int64(len(frame)) + int64(size)
+	l.buf = append(l.buf[:0], l.buf[size:]...)
+	l.bufRecs -= recs
+	obsAuditRecords.Add(uint64(recs))
+	obsAuditChunks.Inc()
+	obsAuditBytes.Add(uint64(len(frame) + size))
+}
+
+// Drops returns the records dropped across all rings so far.
+func (l *Log) Drops() uint64 {
+	var d uint64
+	for _, r := range l.rings {
+		d += r.Drops()
+	}
+	return d
+}
+
+// Close stops the writer (draining everything already published), writes
+// the footer and trailer, and returns the first error. All producers must
+// have stopped publishing before Close is called.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.quit)
+		<-l.done
+		drops := l.Drops()
+		obsAuditDrops.Add(drops)
+		ftr := make([]byte, 0, 4+8+8+4+len(l.sums)*sha256.Size)
+		ftr = append(ftr, ldlFooter[:]...)
+		ftr = binary.LittleEndian.AppendUint64(ftr, l.total)
+		ftr = binary.LittleEndian.AppendUint64(ftr, drops)
+		ftr = binary.LittleEndian.AppendUint32(ftr, uint32(len(l.sums)))
+		for i := range l.sums {
+			ftr = append(ftr, l.sums[i][:]...)
+		}
+		var trail []byte
+		trail = binary.LittleEndian.AppendUint64(trail, uint64(l.off))
+		trail = append(trail, ldlTrailer[:]...)
+		if l.werr == nil {
+			if _, err := l.w.Write(ftr); err != nil {
+				l.werr = fmt.Errorf("decisionlog: writing footer: %w", err)
+			} else if _, err := l.w.Write(trail); err != nil {
+				l.werr = fmt.Errorf("decisionlog: writing trailer: %w", err)
+			}
+		}
+		obsAuditBytes.Add(uint64(len(ftr) + len(trail)))
+		l.closeErr = l.werr
+	})
+	return l.closeErr
+}
+
+// LogData is a fully validated in-memory audit log.
+type LogData struct {
+	// NFeat is the per-record feature width the log was written with.
+	NFeat int
+	// Records holds every record in on-disk (drain) order.
+	Records []Record
+	// Drops is the producer-side drop count recorded in the footer.
+	Drops uint64
+}
+
+// Read validates and decodes a complete LDL1 image. Any structural or
+// checksum failure returns an error wrapping ErrCorrupt.
+func Read(data []byte) (*LogData, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(data) < ldlHeadBytes+ldlTrailBytes {
+		return nil, corrupt("%d bytes is shorter than header+trailer", len(data))
+	}
+	if [4]byte(data[:4]) != ldlMagic {
+		return nil, corrupt("bad magic %q", data[:4])
+	}
+	if data[4] != ldlVersion {
+		return nil, corrupt("unsupported version %d", data[4])
+	}
+	nfeat := int(data[5])
+	if nfeat < 1 || nfeat > MaxFeatures {
+		return nil, corrupt("feature count %d out of range", nfeat)
+	}
+	trail := data[len(data)-ldlTrailBytes:]
+	if [8]byte(trail[8:]) != ldlTrailer {
+		return nil, corrupt("bad trailer magic %q", trail[8:])
+	}
+	ftrOff := binary.LittleEndian.Uint64(trail[:8])
+	if ftrOff < ldlHeadBytes || ftrOff > uint64(len(data)-ldlTrailBytes) {
+		return nil, corrupt("footer offset %d out of bounds", ftrOff)
+	}
+	ftr := data[ftrOff : len(data)-ldlTrailBytes]
+	if len(ftr) < 4+8+8+4 {
+		return nil, corrupt("footer truncated at %d bytes", len(ftr))
+	}
+	if [4]byte(ftr[:4]) != ldlFooter {
+		return nil, corrupt("bad footer magic %q", ftr[:4])
+	}
+	total := binary.LittleEndian.Uint64(ftr[4:])
+	drops := binary.LittleEndian.Uint64(ftr[12:])
+	chunkCount := binary.LittleEndian.Uint32(ftr[20:])
+	if uint64(len(ftr)) != 24+uint64(chunkCount)*sha256.Size {
+		return nil, corrupt("footer holds %d bytes, want %d for %d chunk sums",
+			len(ftr), 24+uint64(chunkCount)*sha256.Size, chunkCount)
+	}
+	sums := ftr[24:]
+
+	recBytes := RecordBytes(nfeat)
+	out := &LogData{NFeat: nfeat, Drops: drops}
+	off := uint64(ldlHeadBytes)
+	for ci := uint32(0); ci < chunkCount; ci++ {
+		if off+12 > ftrOff {
+			return nil, corrupt("chunk %d frame extends past footer", ci)
+		}
+		frame := data[off : off+12]
+		if [4]byte(frame[:4]) != ldlChunk {
+			return nil, corrupt("chunk %d: bad magic %q", ci, frame[:4])
+		}
+		recs := binary.LittleEndian.Uint32(frame[4:])
+		size := binary.LittleEndian.Uint32(frame[8:])
+		if uint64(size) != uint64(recs)*uint64(recBytes) {
+			return nil, corrupt("chunk %d: %d records but %d payload bytes", ci, recs, size)
+		}
+		if off+12+uint64(size) > ftrOff {
+			return nil, corrupt("chunk %d payload extends past footer", ci)
+		}
+		payload := data[off+12 : off+12+uint64(size)]
+		if sha256.Sum256(payload) != [sha256.Size]byte(sums[ci*sha256.Size:(ci+1)*sha256.Size]) {
+			return nil, corrupt("chunk %d: checksum mismatch", ci)
+		}
+		for i := uint32(0); i < recs; i++ {
+			var r Record
+			if err := r.decodeFrom(payload[int(i)*recBytes:], nfeat); err != nil {
+				return nil, corrupt("chunk %d record %d: %v", ci, i, err)
+			}
+			out.Records = append(out.Records, r)
+		}
+		off += 12 + uint64(size)
+	}
+	if off != ftrOff {
+		return nil, corrupt("%d trailing bytes between chunks and footer", ftrOff-off)
+	}
+	if uint64(len(out.Records)) != total {
+		return nil, corrupt("footer says %d records, chunks hold %d", total, len(out.Records))
+	}
+	return out, nil
+}
+
+// ReadFile loads and validates an LDL1 file.
+func ReadFile(path string) (*LogData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Read(data)
+}
+
+// CanonicalDigest hashes the worker-count-invariant view of a record set:
+// latency fields zeroed (they are wall-clock measurements), records sorted
+// by SortCanonical, each re-encoded at nfeat features. Two runs that served
+// the same sampled decisions produce the same digest regardless of worker,
+// connection, or drain interleaving.
+func CanonicalDigest(recs []Record, nfeat int) [sha256.Size]byte {
+	cp := make([]Record, len(recs))
+	copy(cp, recs)
+	for i := range cp {
+		cp[i].LatAdmissionNs = 0
+		cp[i].LatQueueNs = 0
+		cp[i].LatCoalesceNs = 0
+		cp[i].LatPredictNs = 0
+		cp[i].LatEncodeNs = 0
+	}
+	SortCanonical(cp)
+	h := sha256.New()
+	buf := make([]byte, RecordBytes(nfeat))
+	for i := range cp {
+		cp[i].encodeInto(buf, nfeat)
+		h.Write(buf)
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}

@@ -1,0 +1,99 @@
+package decisionlog
+
+import "sync/atomic"
+
+// A Ring is a bounded multi-producer single-consumer queue of encoded
+// records over one flat byte slab. Producers (decide-path goroutines) claim
+// slots with a CAS on the head and hand the slot to the consumer by
+// advancing the slot's sequence; the single drainer goroutine consumes in
+// slot order. A full ring drops: Publish never blocks and never allocates,
+// so audit emission can lag the decide path but never stall it.
+//
+// The design is the classic bounded MPMC sequence ring restricted to one
+// consumer: slot i carries an atomic sequence, initialized to i. A producer
+// may claim head h when seq(h&mask) == h, publishing sets it to h+1, and
+// the consumer at tail t waits for t+1 and releases the slot by storing
+// t+cap for the producer one lap ahead.
+type Ring struct {
+	mask  uint64
+	size  int // encoded record width
+	nfeat int
+	seq   []atomic.Uint64
+	slab  []byte
+	head  atomic.Uint64
+	tail  uint64 // consumer-only
+	drops atomic.Uint64
+}
+
+// NewRing returns a ring holding capacity (rounded up to a power of two)
+// records of nfeat features each.
+func NewRing(capacity, nfeat int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	r := &Ring{
+		mask:  uint64(c - 1),
+		size:  RecordBytes(nfeat),
+		nfeat: nfeat,
+		seq:   make([]atomic.Uint64, c),
+		slab:  make([]byte, c*RecordBytes(nfeat)),
+	}
+	for i := range r.seq {
+		r.seq[i].Store(uint64(i))
+	}
+	return r
+}
+
+// Publish encodes rec into a claimed slot. It returns false — counting the
+// drop — when the ring is full; it never blocks.
+//
+//lint:noalloc runs on the decide hot path for every sampled decision
+func (r *Ring) Publish(rec *Record) bool {
+	for {
+		h := r.head.Load()
+		slot := &r.seq[h&r.mask]
+		s := slot.Load()
+		switch {
+		case s == h:
+			if !r.head.CompareAndSwap(h, h+1) {
+				continue // lost the claim race; retry
+			}
+			off := int(h&r.mask) * r.size
+			rec.encodeInto(r.slab[off:off+r.size], r.nfeat)
+			slot.Store(h + 1)
+			return true
+		case s < h:
+			// The consumer has not released this slot: ring full.
+			r.drops.Add(1)
+			return false
+		default:
+			// Another producer claimed h first; reload head and retry.
+		}
+	}
+}
+
+// drain invokes fn for each published record, in slot order, until the ring
+// is empty. Single-consumer: only the Log's writer goroutine may call it.
+// The byte slice passed to fn aliases the slab and is only valid until fn
+// returns.
+func (r *Ring) drain(fn func(encoded []byte)) int {
+	n := 0
+	for {
+		slot := &r.seq[r.tail&r.mask]
+		if slot.Load() != r.tail+1 {
+			return n
+		}
+		off := int(r.tail&r.mask) * r.size
+		fn(r.slab[off : off+r.size])
+		slot.Store(r.tail + r.mask + 1)
+		r.tail++
+		n++
+	}
+}
+
+// Drops returns the number of records dropped because the ring was full.
+func (r *Ring) Drops() uint64 { return r.drops.Load() }

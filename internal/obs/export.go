@@ -59,6 +59,10 @@ func (r *Registry) Snapshot() []Metric {
 			m.Type = "gauge"
 			m.Value = float64(e.g.Value())
 			m.Max = float64(e.g.Max())
+		case kindFloatGauge:
+			m.Type = "gauge"
+			m.Value = e.f.Value()
+			m.Max = e.f.Max()
 		case kindHistogram:
 			m.Type = "histogram"
 			m.Count = e.h.Count()

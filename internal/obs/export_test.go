@@ -23,6 +23,9 @@ func goldenRegistry() *Registry {
 	g := r.Gauge("libra_demo_workers_active", "worker-pool occupancy")
 	g.Set(3)
 	g.Set(1)
+	fg := r.FloatGauge("libra_demo_drift_psi", "windowed drift statistic")
+	fg.Set(0.375)
+	fg.Set(0.125)
 	h := r.Histogram("libra_demo_fit_seconds", "fit wall time", []float64{0.001, 0.01, 0.1})
 	h.Observe(0.0005)
 	h.Observe(0.05)

@@ -93,6 +93,33 @@ func (g *Gauge) raise(v int64) {
 	}
 }
 
+// A FloatGauge is a float-valued gauge for statistics that are not integer
+// counts (drift PSI, KS distance, windowed accuracy). It stores the value's
+// IEEE-754 bits atomically and, like Gauge, tracks the high-water mark since
+// the last Reset — for drift statistics the peak since start is exactly what
+// a post-incident scrape needs.
+type FloatGauge struct {
+	v   atomic.Uint64 // float64 bits
+	max atomic.Uint64 // float64 bits
+}
+
+// Set stores v and raises the high-water mark if needed.
+func (g *FloatGauge) Set(v float64) {
+	g.v.Store(math.Float64bits(v))
+	for {
+		old := g.max.Load()
+		if v <= math.Float64frombits(old) || g.max.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// Max returns the high-water mark since the last Reset.
+func (g *FloatGauge) Max() float64 { return math.Float64frombits(g.max.Load()) }
+
 // A Histogram counts observations into fixed buckets. Bucket bounds are set
 // at registration and never change; Observe is lock-free.
 type Histogram struct {
@@ -135,6 +162,7 @@ type metricKind int
 const (
 	kindCounter metricKind = iota
 	kindGauge
+	kindFloatGauge
 	kindHistogram
 )
 
@@ -145,6 +173,7 @@ type entry struct {
 	kind metricKind
 	c    *Counter
 	g    *Gauge
+	f    *FloatGauge
 	h    *Histogram
 }
 
@@ -176,6 +205,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return e.g
 }
 
+// FloatGauge registers (or returns the already-registered) float gauge
+// under name.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	e := r.register(name, help, kindFloatGauge)
+	return e.f
+}
+
 // Histogram registers (or returns the already-registered) histogram under
 // name with the given bucket upper bounds (ascending; an implicit +Inf
 // bucket is appended).
@@ -204,6 +240,8 @@ func (r *Registry) register(name, help string, kind metricKind) *entry {
 		e.c = &Counter{}
 	case kindGauge:
 		e.g = &Gauge{}
+	case kindFloatGauge:
+		e.f = &FloatGauge{}
 	}
 	r.entries[name] = e
 	return e
@@ -221,6 +259,9 @@ func (r *Registry) Reset() {
 		case kindGauge:
 			e.g.v.Store(0)
 			e.g.max.Store(0)
+		case kindFloatGauge:
+			e.f.v.Store(0)
+			e.f.max.Store(0)
 		case kindHistogram:
 			for i := range e.h.counts {
 				e.h.counts[i].Store(0)
@@ -236,6 +277,9 @@ func NewCounter(name, help string) *Counter { return Default.Counter(name, help)
 
 // NewGauge registers a gauge in the Default registry.
 func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// NewFloatGauge registers a float gauge in the Default registry.
+func NewFloatGauge(name, help string) *FloatGauge { return Default.FloatGauge(name, help) }
 
 // NewHistogram registers a histogram in the Default registry.
 func NewHistogram(name, help string, buckets []float64) *Histogram {

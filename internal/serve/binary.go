@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/libra-wlan/libra/internal/dataset"
 )
@@ -182,6 +183,16 @@ func (s *BinaryServer) readLoop(ctx context.Context, br *bufio.Reader, order cha
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
+		if payload[0] == frameFeedback {
+			// Ground truth is fire-and-forget: no response, no FIFO slot.
+			if reqID, linkID, action, err := decodeFeedback(payload); err == nil {
+				s.rt.Feedback(reqID, linkID, action)
+			} else {
+				obsErrors.Inc()
+			}
+			continue
+		}
+		t0 := nowStamp()
 		if err := decodeDecideRequest(payload, &req); err != nil {
 			// The frame boundary is intact (length prefix honored), so the
 			// stream is still in sync; answer in order and keep going. Echo
@@ -204,7 +215,7 @@ func (s *BinaryServer) readLoop(ctx context.Context, br *bufio.Reader, order cha
 			x[i] = float64(v)
 		}
 		wantProba := req.Flags&wireFlagProba != 0
-		t, err := s.rt.Submit(ctx, req.LinkID, x, !wantProba)
+		t, err := s.rt.SubmitTimed(ctx, req.LinkID, x, !wantProba, req.ReqID, t0)
 		if err != nil {
 			order <- binEntry{reqID: req.ReqID, errCode: wireErrCode(err)}
 			continue
@@ -225,6 +236,8 @@ func (s *BinaryServer) writeLoop(ctx context.Context, conn net.Conn, order <-cha
 	)
 	for e := range order {
 		buf = buf[:0]
+		var answered *Pending // emitted after its bytes are written
+		var tEnc time.Time
 		switch {
 		case e.errCode != 0:
 			buf = appendWireError(buf, e.reqID, e.errCode)
@@ -245,6 +258,7 @@ func (s *BinaryServer) writeLoop(ctx context.Context, conn net.Conn, order <-cha
 				buf = appendWireError(buf, e.reqID, wireErrCode(err))
 				break
 			}
+			tEnc = nowStamp()
 			proba = proba[:0]
 			if e.wantProba {
 				for _, p := range dec.Proba {
@@ -255,10 +269,14 @@ func (s *BinaryServer) writeLoop(ctx context.Context, conn net.Conn, order <-cha
 			if a := int(dec.Action); a >= 0 && a < len(obsDecisions) {
 				obsDecisions[a].Inc()
 			}
+			answered = e.t
 		}
 		if _, err := bw.Write(buf); err != nil {
 			drainOrder(order)
 			return
+		}
+		if answered != nil {
+			s.rt.EmitDecision(answered, nowStamp().Sub(tEnc))
 		}
 		if len(order) == 0 {
 			if err := bw.Flush(); err != nil {
@@ -328,6 +346,14 @@ func NewBinaryClient(conn net.Conn) (*BinaryClient, error) {
 // the wire.
 func (c *BinaryClient) Send(reqID, linkID uint64, x []float32, wantProba bool) error {
 	c.reqbuf = appendDecideRequest(c.reqbuf[:0], reqID, linkID, wantProba, x)
+	_, err := c.bw.Write(c.reqbuf)
+	return err
+}
+
+// SendFeedback buffers one ground-truth feedback frame (fire-and-forget: no
+// response will come back, and Recv never returns it).
+func (c *BinaryClient) SendFeedback(reqID, linkID uint64, action uint8) error {
+	c.reqbuf = appendFeedback(c.reqbuf[:0], reqID, linkID, action)
 	_, err := c.bw.Write(c.reqbuf)
 	return err
 }

@@ -52,6 +52,23 @@ type pending struct {
 	done      chan struct{}
 	dec       Decision
 	err       error
+
+	// Audit identity (SubmitTimed): reqID is client-chosen, linkID is the
+	// routing key, shard is stamped by the router.
+	reqID  uint64
+	linkID uint64
+	shard  uint16
+
+	// Stage stamps for latency attribution. t0 is set by the transport when
+	// the request arrives; the rest are stamped as the request crosses each
+	// pipeline seam. All are written before done closes (or, for t0/tEnq,
+	// before the request enters the queue), so the waiter reads them without
+	// synchronization beyond Done.
+	t0    time.Time // transport arrival (zero when the transport doesn't attribute)
+	tEnq  time.Time // admission enqueue
+	tDeq  time.Time // dispatcher dequeue
+	tCap  time.Time // batch capture (flush start)
+	tPred time.Time // model kernel finished for this request's batch
 }
 
 // Pending is the handle for a decision submitted without blocking (Submit).
@@ -159,7 +176,18 @@ func (c *Coalescer) Decide(ctx context.Context, x []float64) (Decision, error) {
 // model's early-exit class kernel — the binary wire's default. Admission
 // errors (ErrOverloaded, ErrDraining) are returned immediately.
 func (c *Coalescer) Submit(ctx context.Context, x []float64, classOnly bool) (*Pending, error) {
-	p := &pending{x: x, classOnly: classOnly, ctx: ctx, done: make(chan struct{})}
+	return c.SubmitTimed(ctx, x, classOnly, 0, 0, time.Time{})
+}
+
+// SubmitTimed is Submit carrying the request's audit identity and transport
+// arrival stamp: reqID/linkID key the decision log's deterministic sampling
+// and ground-truth joins, and t0 anchors the admission stage span (a zero t0
+// records a zero admission span).
+func (c *Coalescer) SubmitTimed(ctx context.Context, x []float64, classOnly bool, reqID, linkID uint64, t0 time.Time) (*Pending, error) {
+	p := &pending{
+		x: x, classOnly: classOnly, ctx: ctx, done: make(chan struct{}),
+		reqID: reqID, linkID: linkID, t0: t0, tEnq: nowStamp(),
+	}
 	if c.cfg.MaxBatch <= 1 {
 		if err := c.decideInline(p); err != nil {
 			return nil, err
@@ -202,12 +230,16 @@ func (c *Coalescer) decideInline(p *pending) error {
 		return ErrNoModel
 	}
 	obsBatchSize.Observe(1)
+	// The uncoalesced path has no queue or linger: dequeue and capture
+	// coincide with the enqueue stamp, and the predict span is the model walk.
+	p.tDeq, p.tCap = p.tEnq, p.tEnq
 	if p.classOnly {
 		p.dec = Decision{Action: dataset.Action(m.pred.Predict(p.x)), Model: m}
 	} else {
 		proba := m.pred.Proba(p.x)
 		p.dec = Decision{Action: dataset.Action(argmax(proba)), Proba: proba, Model: m}
 	}
+	p.tPred = nowStamp()
 	close(p.done)
 	return nil
 }
@@ -246,6 +278,7 @@ func (c *Coalescer) dispatch() {
 			return
 		}
 		obsQueueDepth.Dec()
+		p.tDeq = nowStamp()
 		batch := append(c.batch[:0], p)
 
 		// Linger: wait up to MaxLinger (measured from the first request)
@@ -261,6 +294,7 @@ func (c *Coalescer) dispatch() {
 					break collect
 				}
 				obsQueueDepth.Dec()
+				q.tDeq = nowStamp()
 				batch = append(batch, q)
 			case <-timer.C:
 				break collect
@@ -278,6 +312,7 @@ func (c *Coalescer) dispatch() {
 			rest := c.batch[:0]
 			for q := range c.queue {
 				obsQueueDepth.Dec()
+				q.tDeq = nowStamp()
 				rest = append(rest, q)
 			}
 			if len(rest) > 0 {
@@ -294,6 +329,7 @@ func (c *Coalescer) dispatch() {
 // model's early-exit class kernel; requests wanting probabilities go
 // through the exact-vote batch path. Both partitions use the same snapshot.
 func (c *Coalescer) flush(batch []*pending) {
+	tCap := nowStamp()
 	// Discard requests whose waiter already gave up: their context is
 	// dead, so model time spent on them is wasted. Partition survivors by
 	// the path they need.
@@ -305,6 +341,7 @@ func (c *Coalescer) flush(batch []*pending) {
 			close(p.done)
 			continue
 		}
+		p.tCap = tCap
 		if p.classOnly {
 			classed = append(classed, p)
 		} else {
@@ -331,6 +368,14 @@ func (c *Coalescer) flush(batch []*pending) {
 
 	if len(classed) > 0 {
 		c.classifyClassOnly(m, classed)
+		// Stamp after the kernel, before the fan-out: the predict span is
+		// per-batch, honestly amortized over every decision it answered.
+		tPred := nowStamp()
+		for i, p := range classed {
+			p.tPred = tPred
+			p.dec = Decision{Action: dataset.Action(c.classes[i]), Model: m}
+			close(p.done)
+		}
 	}
 	if len(live) == 0 {
 		return
@@ -341,11 +386,13 @@ func (c *Coalescer) flush(batch []*pending) {
 	}
 	c.x = x
 	c.proba = m.pred.PredictProbaBatch(x, c.proba)
+	tPred := nowStamp()
 	nc := m.Classes
 	for i, p := range live {
 		row := c.proba[i*nc : (i+1)*nc]
 		// The scratch row is reused by the next batch; hand the waiter
 		// its own copy.
+		p.tPred = tPred
 		p.dec = Decision{
 			Action: dataset.Action(argmax(row)),
 			Proba:  append(make([]float64, 0, nc), row...),
@@ -355,12 +402,13 @@ func (c *Coalescer) flush(batch []*pending) {
 	}
 }
 
-// classifyClassOnly answers the class-only partition (the binary wire's
-// default) against the captured snapshot: gather the feature rows into the
-// dispatcher's scratch, run the model's early-exit batch kernel once, and
-// fan the classes back out. This is the per-batch steady state of the
-// decide path — the throughput numbers in the shard benchmarks assume it
-// never touches the allocator, and the annotation makes that a merge gate.
+// classifyClassOnly runs the class-only partition (the binary wire's
+// default) through the captured snapshot's early-exit batch kernel: gather
+// the feature rows into the dispatcher's scratch, predict once into
+// c.classes. The fan-out (and its wall-clock stamp) lives in flush — the
+// kernel is the per-batch steady state of the decide path, the throughput
+// numbers in the shard benchmarks assume it never touches the allocator,
+// and the annotation makes that a merge gate.
 //
 //lint:noalloc steady-state decide path; scratch is dispatcher-owned and reused
 func (c *Coalescer) classifyClassOnly(m *Model, classed []*pending) {
@@ -370,10 +418,6 @@ func (c *Coalescer) classifyClassOnly(m *Model, classed []*pending) {
 	}
 	c.x = x
 	c.classes = m.pred.PredictBatch(x, c.classes)
-	for i, p := range classed {
-		p.dec = Decision{Action: dataset.Action(c.classes[i]), Model: m}
-		close(p.done)
-	}
 }
 
 // argmax returns the index of the first maximum, matching the forest's own

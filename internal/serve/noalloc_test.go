@@ -59,31 +59,25 @@ func TestClassifyClassOnlyNoalloc(t *testing.T) {
 	defer c.Close()
 	m := reg.Active()
 
-	// classifyClassOnly closes each request's done channel, so every run
-	// needs a fresh batch; build them all up front so only the kernel is
-	// measured.
-	const runs = 20
-	sets := make([][]*pending, runs+1)
-	for i := range sets {
-		ps := make([]*pending, 8)
-		for j := range ps {
-			ps[j] = &pending{x: testRow, classOnly: true, done: make(chan struct{})}
-		}
-		sets[i] = ps
+	// The kernel only gathers and predicts into dispatcher scratch (the
+	// fan-out and its wall-clock stamp live in flush), so one batch can be
+	// replayed every run.
+	ps := make([]*pending, 8)
+	for j := range ps {
+		ps[j] = &pending{x: testRow, classOnly: true}
 	}
-	i := 0
-	avg := testing.AllocsPerRun(runs, func() {
-		c.classifyClassOnly(m, sets[i])
-		i++
+	avg := testing.AllocsPerRun(20, func() {
+		c.classifyClassOnly(m, ps)
 	})
 	if avg != 0 {
 		t.Errorf("classifyClassOnly allocates %v per run, want 0 (//lint:noalloc)", avg)
 	}
-	for _, ps := range sets[:i] {
-		for _, p := range ps {
-			if p.dec.Action != 1 {
-				t.Fatalf("action = %v, want 1", p.dec.Action)
-			}
+	if len(c.classes) != len(ps) {
+		t.Fatalf("classes = %d, want %d", len(c.classes), len(ps))
+	}
+	for i, cl := range c.classes {
+		if cl != 1 {
+			t.Fatalf("class[%d] = %d, want 1", i, cl)
 		}
 	}
 }

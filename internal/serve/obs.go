@@ -32,4 +32,31 @@ var (
 		obs.NewCounter(`libra_serve_decisions_total{action="NA"}`,
 			"decisions answered with no adaptation"),
 	}
+	// Stage-attribution histograms: libra_serve_decision_seconds split at the
+	// pipeline's seams, so a tail regression on /metrics names its stage. The
+	// same five spans are stamped into every sampled audit record
+	// (decisionlog.Record), which holds the per-decision evidence.
+	obsStageSeconds = [numStages]*obs.Histogram{
+		obs.NewHistogram(`libra_serve_stage_seconds{stage="admission"}`,
+			"transport decode and validation, request arrival to admission", obs.DurationBuckets),
+		obs.NewHistogram(`libra_serve_stage_seconds{stage="queue"}`,
+			"admission enqueue to dispatcher dequeue", obs.DurationBuckets),
+		obs.NewHistogram(`libra_serve_stage_seconds{stage="coalesce"}`,
+			"dispatcher dequeue to batch capture (the linger window)", obs.DurationBuckets),
+		obs.NewHistogram(`libra_serve_stage_seconds{stage="predict"}`,
+			"model batch walk, shared by every decision in the batch", obs.DurationBuckets),
+		obs.NewHistogram(`libra_serve_stage_seconds{stage="encode"}`,
+			"result ready to response bytes handed to the transport", obs.DurationBuckets),
+	}
+)
+
+// Stage indices into obsStageSeconds, in pipeline order. They mirror the
+// lat_*_ns columns of an audit record one-for-one.
+const (
+	stageAdmission = iota
+	stageQueue
+	stageCoalesce
+	stagePredict
+	stageEncode
+	numStages
 )

@@ -60,7 +60,8 @@ func (c Config) withDefaults() Config {
 
 // Server answers decision queries from the registry's active model.
 //
-//	POST /v1/decide        {"features":[7 floats],"link_id":N} -> action + probabilities
+//	POST /v1/decide        {"features":[7 floats],"link_id":N,"req_id":N} -> action + probabilities
+//	POST /v1/feedback      {"req_id":N,"link_id":N,"action_id":N} ground truth -> 204
 //	GET  /models           active model and rollback target
 //	POST /models           upload a libra-model artifact; atomic hot-swap
 //	POST /models/rollback  restore the previously active model
@@ -90,6 +91,7 @@ func New(reg *Registry, cfg Config) *Server {
 		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /models", s.handleModels)
 	s.mux.HandleFunc("POST /models", s.handleModelUpload)
 	s.mux.HandleFunc("POST /models/rollback", s.handleRollback)
@@ -120,6 +122,10 @@ type decideRequest struct {
 	Features []float64 `json:"features"`
 	// LinkID keys consistent-hash shard routing; absent means link 0.
 	LinkID uint64 `json:"link_id"`
+	// ReqID is the client-chosen audit identity: it keys the decision log's
+	// deterministic sampling and later ground-truth joins (POST
+	// /v1/feedback). Absent means 0 — fine when no audit log is attached.
+	ReqID uint64 `json:"req_id"`
 }
 
 // respPool recycles response-encoding buffers across decision requests.
@@ -132,6 +138,7 @@ var respPool = sync.Pool{
 // dilutes the batched model's advantage, so the hot path avoids
 // encoding/json on the way out.
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	t0 := nowStamp()
 	timer := obs.StartTimer()
 	var req decideRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
@@ -153,12 +160,28 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
 		defer cancel()
 	}
-	dec, err := s.rt.Decide(ctx, req.LinkID, req.Features)
+	// Submit rather than Decide: the handler keeps the Pending so it can
+	// stamp the encode span and emit the audit record after the response
+	// bytes leave.
+	t, err := s.rt.SubmitTimed(ctx, req.LinkID, req.Features, false, req.ReqID, t0)
+	if err != nil {
+		s.writeDecideError(w, err)
+		return
+	}
+	select {
+	case <-t.Done():
+	case <-ctx.Done():
+		obsCanceled.Inc()
+		s.writeDecideError(w, ctx.Err())
+		return
+	}
+	dec, err := t.Result()
 	if err != nil {
 		s.writeDecideError(w, err)
 		return
 	}
 
+	tEnc := nowStamp()
 	buf := respPool.Get().([]byte)[:0]
 	buf = append(buf, `{"action":"`...)
 	buf = append(buf, dec.Action.String()...)
@@ -178,11 +201,40 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf)
 	respPool.Put(buf)
+	s.rt.EmitDecision(t, nowStamp().Sub(tEnc))
 
 	if a := int(dec.Action); a >= 0 && a < len(obsDecisions) {
 		obsDecisions[a].Inc()
 	}
 	timer.Observe(obsDecisionSeconds)
+}
+
+// feedbackRequest is the POST /v1/feedback body: delayed ground truth for a
+// previously served decision, keyed by the (req_id, link_id) the client sent
+// with it.
+type feedbackRequest struct {
+	ReqID    uint64 `json:"req_id"`
+	LinkID   uint64 `json:"link_id"`
+	ActionID int    `json:"action_id"`
+}
+
+// handleFeedback joins ground truth to the audit stream; see Router.Feedback.
+// Always 204: feedback for an unsampled or unknown decision is simply
+// dropped, which is what deterministic sampling demands.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<12)).Decode(&req); err != nil {
+		obsErrors.Inc()
+		httpError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return
+	}
+	if req.ActionID < 0 || req.ActionID > 255 {
+		obsErrors.Inc()
+		httpError(w, http.StatusBadRequest, "action_id out of range")
+		return
+	}
+	s.rt.Feedback(req.ReqID, req.LinkID, uint8(req.ActionID))
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // writeDecideError maps coalescer errors to HTTP status codes.

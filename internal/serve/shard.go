@@ -3,8 +3,10 @@ package serve
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/libra-wlan/libra/internal/obs"
+	"github.com/libra-wlan/libra/internal/obs/decisionlog"
 )
 
 // The sharded decide plane. A Router fronts N independent coalescer shards
@@ -49,6 +51,10 @@ type Router struct {
 	// Per-shard admission counters, aggregated by ShardStats and diffed by
 	// the CI smoke test against the router-level totals.
 	requests []*obs.Counter
+
+	// audit, when attached (SetAudit, before traffic), receives the sampled
+	// decision stream; see audit.go.
+	audit *decisionlog.Log
 }
 
 // NewRouter builds the shard fleet around one shared registry. Callers own
@@ -84,15 +90,10 @@ func (rt *Router) Shard(i int) *Coalescer { return rt.shards[i] }
 func (rt *Router) Registry() *Registry { return rt.reg }
 
 // Submit enqueues one decision on the shard owning linkID without blocking
-// for the result; see Coalescer.Submit.
+// for the result; see Coalescer.Submit. Requests submitted this way carry no
+// audit identity — transports that feed the decision log use SubmitTimed.
 func (rt *Router) Submit(ctx context.Context, linkID uint64, x []float64, classOnly bool) (*Pending, error) {
-	s := rt.ring.shardFor(linkID)
-	t, err := rt.shards[s].Submit(ctx, x, classOnly)
-	if err != nil {
-		return nil, err
-	}
-	rt.requests[s].Inc()
-	return t, nil
+	return rt.SubmitTimed(ctx, linkID, x, classOnly, 0, time.Time{})
 }
 
 // Decide answers one decision on the shard owning linkID.

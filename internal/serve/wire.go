@@ -53,9 +53,10 @@ import (
 var wireMagic = [4]byte{'L', 'i', 'B', '1'}
 
 const (
-	frameDecide = 1 // client -> server
-	frameResult = 2 // server -> client, success
-	frameError  = 3 // server -> client, failure
+	frameDecide   = 1 // client -> server
+	frameResult   = 2 // server -> client, success
+	frameError    = 3 // server -> client, failure
+	frameFeedback = 4 // client -> server, ground truth; fire-and-forget
 
 	// wireFlagProba asks for the per-class probability row. Requests
 	// without it take the class-only early-exit kernel.
@@ -68,6 +69,20 @@ const (
 
 	reqHeadLen  = 20
 	respHeadLen = 16
+
+	// feedbackLen is the fixed frameFeedback payload:
+	//
+	//	off  size  field
+	//	0    u8    type    = 4
+	//	1    u8    action  (ground-truth action for the decision)
+	//	2    u16   reserved
+	//	4    u64   req_id
+	//	12   u64   link_id
+	//
+	// Feedback is fire-and-forget: no response frame, and it never enters
+	// the connection's FIFO — the reader hands it straight to the router's
+	// ground-truth join and moves on.
+	feedbackLen = 20
 )
 
 // Error codes carried by frameError responses.
@@ -148,6 +163,30 @@ func decodeDecideRequest(payload []byte, req *wireRequest) error {
 		req.X[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[reqHeadLen+4*i:]))
 	}
 	return nil
+}
+
+// appendFeedback appends one framed ground-truth feedback to dst.
+//
+//lint:noalloc loadgen replays feedback at decide rates; frames append into the caller's buffer
+func appendFeedback(dst []byte, reqID, linkID uint64, action uint8) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, feedbackLen)
+	dst = append(dst, frameFeedback, action, 0, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	dst = binary.LittleEndian.AppendUint64(dst, linkID)
+	return dst
+}
+
+// decodeFeedback parses a frameFeedback payload.
+//
+//lint:noalloc per-frame ingest path alongside decide decodes
+func decodeFeedback(payload []byte) (reqID, linkID uint64, action uint8, err error) {
+	if len(payload) != feedbackLen || payload[0] != frameFeedback {
+		return 0, 0, 0, errFrameTruncated
+	}
+	action = payload[1]
+	reqID = binary.LittleEndian.Uint64(payload[4:])
+	linkID = binary.LittleEndian.Uint64(payload[12:])
+	return reqID, linkID, action, nil
 }
 
 // appendResult appends one framed success response to dst. proba may be nil.
