@@ -11,6 +11,16 @@
 //	          [-metrics-out FILE] [-trace-out FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //
+// With -aps N (N > 0) the command instead runs the deterministic multi-AP
+// discrete-event engine: N access points and -stations stations contend for
+// TDMA slots, interfere across cells and hand off between APs for -duration
+// of simulated time on the -topology floor plan. The run prints per-AP and
+// aggregate station summaries plus the scenario digest — a SHA-256 over the
+// canonical event trace that is byte-identical for any -workers value:
+//
+//	libra-sim -aps 4 -stations 64 -duration 500ms -seed 1 [-workers N]
+//	          [-topology grid] [-policy ba-first] [-trace-out FILE]
+//
 // The observability flags are shared by every libra command: -metrics-out
 // snapshots the engine metrics on exit, -trace-out records the deterministic
 // simulation-time event trace (byte-identical for any -workers value), and
@@ -22,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +47,17 @@ import (
 	"github.com/libra-wlan/libra/internal/phased"
 	"github.com/libra-wlan/libra/internal/phy"
 	"github.com/libra-wlan/libra/internal/sim"
+	"github.com/libra-wlan/libra/internal/sim/engine"
 )
+
+// policies maps -policy values to sim policies.
+var policies = map[string]sim.Policy{
+	"libra":        sim.LiBRA,
+	"ba-first":     sim.BAFirst,
+	"ra-first":     sim.RAFirst,
+	"oracle-data":  sim.OracleData,
+	"oracle-delay": sim.OracleDelay,
+}
 
 // environments maps -env values to constructors and a default Tx placement.
 var environments = map[string]struct {
@@ -63,10 +84,25 @@ func main() {
 	flow := flag.Duration("flow", time.Second, "data flow duration")
 	seed := flag.Int64("seed", 42, "random seed (codebooks + classifier training)")
 	workers := flag.Int("workers", 0, "campaign worker count (0 = all cores; output is identical for any value)")
+	aps := flag.Int("aps", 0, "multi-AP engine mode: number of access points (0 = single-link mode)")
+	stations := flag.Int("stations", 8, "engine mode: number of stations")
+	duration := flag.Duration("duration", 500*time.Millisecond, "engine mode: simulated time span")
+	topology := flag.String("topology", "grid", "engine mode: AP layout (grid or line)")
+	policy := flag.String("policy", "ba-first", "engine mode: adaptation policy (libra, ba-first, ra-first, oracle-data, oracle-delay)")
 	oc := obs.RegisterCLI(flag.CommandLine)
 	flag.Parse()
 	if err := oc.Start(); err != nil {
 		log.Fatal(err)
+	}
+
+	if *aps > 0 {
+		if err := runEngine(*aps, *stations, *duration, *topology, *policy, *baOverhead, *fat, *seed, *workers); err != nil {
+			log.Fatal(err)
+		}
+		if err := oc.Stop(); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	spec, ok := environments[*envName]
@@ -162,4 +198,71 @@ func main() {
 	if err := oc.Stop(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runEngine drives the multi-AP discrete-event engine and prints per-AP and
+// aggregate summaries plus the scenario digest. Everything printed except
+// wall time is a pure function of the flags — the worker count changes
+// nothing.
+func runEngine(aps, stations int, duration time.Duration, topology, policy string, ba, fat time.Duration, seed int64, workers int) error {
+	pol, ok := policies[policy]
+	if !ok {
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	spec := engine.Spec{
+		APs: aps, Stations: stations,
+		Duration: duration,
+		Seed:     uint64(seed),
+		Topology: topology,
+		Params:   sim.Params{BAOverhead: ba, FAT: fat},
+		Policy:   pol,
+	}
+	if pol == sim.LiBRA {
+		fmt.Println("training LiBRA's classifier...")
+		clf, err := core.TrainDefaultClassifier(dataset.GenerateMainWorkers(seed, workers), seed)
+		if err != nil {
+			return err
+		}
+		spec.Classifier = clf
+	}
+
+	fmt.Printf("multi-AP engine: %d APs, %d stations, topology %s, %v simulated, seed %d\n",
+		aps, stations, topology, duration, seed)
+	sc, err := engine.Build(spec)
+	if err != nil {
+		return err
+	}
+	res, err := engine.New(sc, workers).Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	perAP := make([]struct {
+		bytes    float64
+		breaks   int
+		handoffs int
+	}, aps)
+	for i := range res.Stations {
+		st := &res.Stations[i]
+		perAP[st.AP].bytes += st.Timeline.Bytes
+		perAP[st.AP].breaks += st.Timeline.Breaks
+		perAP[st.AP].handoffs += st.Handoffs
+	}
+	fmt.Printf("\n%-6s %-9s %-12s %-8s %s\n", "AP", "members", "bytes (MB)", "breaks", "handoffs-in")
+	for a := 0; a < aps; a++ {
+		fmt.Printf("%-6d %-9d %-12.1f %-8d %d\n",
+			a, res.APMembers[a], perAP[a].bytes/1e6, perAP[a].breaks, perAP[a].handoffs)
+	}
+	if stations <= 16 {
+		fmt.Printf("\n%-8s %-4s %-12s %-8s %-10s %s\n", "station", "AP", "bytes (MB)", "breaks", "handoffs", "final MCS")
+		for i := range res.Stations {
+			st := &res.Stations[i]
+			fmt.Printf("%-8d %-4d %-12.1f %-8d %-10d %v\n",
+				st.Station, st.AP, st.Timeline.Bytes/1e6, st.Timeline.Breaks, st.Handoffs, st.FinalMCS)
+		}
+	}
+	fmt.Printf("\ntotals: %.1f MB delivered, %d breaks, %d handoffs, %d events\n",
+		res.Bytes()/1e6, res.Breaks(), res.Handoffs, res.Events)
+	fmt.Printf("scenario digest: %s\n", res.Digest)
+	return nil
 }

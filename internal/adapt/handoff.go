@@ -1,0 +1,23 @@
+package adapt
+
+import "time"
+
+// AP handoff costs. Re-homing a station onto a different AP is a beam
+// adaptation against the new AP's array (the station knows nothing about
+// that channel, so it pays a full SLS) plus the 802.11 reassociation
+// exchange — authentication, reassociation request/response and the Block
+// ACK agreement teardown/re-setup, all at the control PHY rate.
+
+// ReassocOverhead is the airtime of the reassociation signaling exchange.
+// Measured 802.11 handoffs spend on the order of a few milliseconds in
+// management frames once the target is known; 2 ms is a deliberately
+// optimistic (pre-authenticated, no scanning) figure so the engine's handoff
+// decisions are dominated by the beam-training term, as they are at 60 GHz.
+const ReassocOverhead = 2 * time.Millisecond
+
+// HandoffOverhead returns the total airtime a station loses switching APs:
+// one full beam-training run against the new AP plus the reassociation
+// exchange.
+func HandoffOverhead(baOverhead time.Duration) time.Duration {
+	return baOverhead + ReassocOverhead
+}

@@ -1,0 +1,19 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHandoffOverhead(t *testing.T) {
+	ba := 5 * time.Millisecond
+	if got := HandoffOverhead(ba); got != ba+ReassocOverhead {
+		t.Errorf("HandoffOverhead(%v) = %v", ba, got)
+	}
+	// The handoff must always cost more than the sweep alone — otherwise
+	// the engine's stations would prefer handoff over in-cell BA even when
+	// the serving AP is fine.
+	if HandoffOverhead(ba) <= ba {
+		t.Error("handoff not dearer than beam training")
+	}
+}

@@ -366,6 +366,39 @@ func TestSnapshotMatchesLink(t *testing.T) {
 	}
 }
 
+func TestSnapshotInterfered(t *testing.T) {
+	l := testLink(7)
+	own := []Interferer{{Pos: geom.V(24, 53), EIRPdBm: 0, DutyCycle: 0.9}}
+	l.SetInterferers(own)
+	clear := l.Snapshot()
+
+	hyp := []Interferer{{Pos: geom.V(24, 51), EIRPdBm: 10, DutyCycle: 1}}
+	snap := l.SnapshotInterfered(hyp)
+
+	// The link's own interferer set is restored and measures as before.
+	if len(l.Interferers) != 1 || l.Interferers[0] != own[0] {
+		t.Fatalf("interferers not restored: %+v", l.Interferers)
+	}
+	if got, want := l.SNRdB(12, 12), clear.SNRdB(12, 12); math.Abs(got-want) > 1e-9 {
+		t.Errorf("restored link SNR = %v, want %v", got, want)
+	}
+
+	// The hypothetical snapshot matches a link configured that way directly.
+	ref := testLink(7)
+	ref.SetInterferers(hyp)
+	for _, b := range []int{0, 12, 24} {
+		if got, want := snap.SNRdB(b, b), ref.SNRdB(b, b); math.Abs(got-want) > 1e-9 {
+			t.Errorf("interfered SNR(%d,%d) = %v, want %v", b, b, got, want)
+		}
+	}
+	// And it is genuinely worse than the clear view at the strongest beams.
+	_, _, clearBest := clear.BestPair()
+	_, _, intfBest := snap.BestPair()
+	if intfBest >= clearBest {
+		t.Errorf("interfered best %v not below clear best %v", intfBest, clearBest)
+	}
+}
+
 func TestSnapshotBestPairMatches(t *testing.T) {
 	l := testLink(7)
 	snap := l.Snapshot()

@@ -59,6 +59,20 @@ func (l *Link) Snapshot() *Snapshot {
 	return s
 }
 
+// SnapshotInterfered captures the link under a hypothetical interferer set,
+// then restores the link's own interferers. The multi-AP engine uses this to
+// precompute, per station, a clear snapshot and one seen under each co-channel
+// AP's worst-case (duty 1.0) emission — the SNR difference between the two is
+// the interference penalty applied when slot windows overlap. Ray geometry is
+// untouched, so the path and gain caches survive both swaps.
+func (l *Link) SnapshotInterfered(in []Interferer) *Snapshot {
+	saved := l.Interferers
+	l.SetInterferers(in)
+	s := l.Snapshot()
+	l.SetInterferers(saved)
+	return s
+}
+
 // NumPaths returns the number of traced propagation paths.
 func (s *Snapshot) NumPaths() int { return len(s.paths) }
 

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiAPTable(t *testing.T) {
+	s := testSuite(t)
+	tab, err := MultiAP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want one per policy", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r) != len(tab.Header) {
+			t.Fatalf("row %v does not match header %v", r, tab.Header)
+		}
+		if r[1] == "0.000" {
+			t.Errorf("policy %s delivered no traffic", r[0])
+		}
+	}
+	if !strings.Contains(tab.CSV(), "LiBRA") {
+		t.Error("CSV output missing LiBRA row")
+	}
+}
+
+func TestMultiAPRegistered(t *testing.T) {
+	for _, k := range StepKeys() {
+		if k == "multiap" {
+			return
+		}
+	}
+	t.Error("multiap step not registered in suiteSteps")
+}

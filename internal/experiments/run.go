@@ -68,6 +68,7 @@ var suiteSteps = []suiteStep{
 	{"fig12", func(s *Suite, opt RunOptions) (Result, error) { return Figure12(s, opt.Timelines) }},
 	{"fig13", func(s *Suite, opt RunOptions) (Result, error) { return Figure13(s, opt.Timelines) }},
 	{"table4", func(s *Suite, opt RunOptions) (Result, error) { return Table4(s, opt.Timelines) }},
+	{"multiap", func(s *Suite, _ RunOptions) (Result, error) { return MultiAP(s) }},
 }
 
 // StepKeys returns the canonical step order accepted by RunOptions.Only.

@@ -1,0 +1,88 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+func TestEqualShareLoneStationOwnsFrame(t *testing.T) {
+	s := EqualShare(0, 1, phy.SlotsPerFrame)
+	if s.Granted != phy.SlotsPerFrame || s.PerStation() != phy.SlotsPerFrame {
+		t.Fatalf("lone station got %d/%d slots", s.PerStation(), s.Granted)
+	}
+	if s.Share() != 1.0 {
+		t.Fatalf("lone station share = %v, want exactly 1", s.Share())
+	}
+}
+
+func TestEqualShareDividesEvenly(t *testing.T) {
+	s := EqualShare(0, 4, phy.SlotsPerFrame)
+	if s.PerStation() != phy.SlotsPerFrame/4 {
+		t.Errorf("per-station = %d", s.PerStation())
+	}
+	if math.Abs(s.Share()-0.25) > 1e-15 {
+		t.Errorf("share = %v", s.Share())
+	}
+	// Demand cap: 4 stations wanting 10 slots each use only 40.
+	capped := EqualShare(0, 4, 10)
+	if capped.Granted != 40 || capped.PerStation() != 10 {
+		t.Errorf("capped: %d granted, %d per station", capped.Granted, capped.PerStation())
+	}
+}
+
+func TestEqualShareOverload(t *testing.T) {
+	// More members than slots: the window saturates at the frame and the
+	// per-station share goes fractional (a slot every other frame).
+	s := EqualShare(0, 2*phy.SlotsPerFrame, phy.SlotsPerFrame)
+	if s.Granted != phy.SlotsPerFrame {
+		t.Errorf("granted = %d", s.Granted)
+	}
+	if want := 1.0 / float64(2*phy.SlotsPerFrame); math.Abs(s.Share()-want) > 1e-15 {
+		t.Errorf("share = %v, want %v", s.Share(), want)
+	}
+}
+
+func TestEqualShareIdle(t *testing.T) {
+	s := EqualShare(25, 0, phy.SlotsPerFrame)
+	if s.Active() || s.Share() != 0 {
+		t.Errorf("idle schedule active: %+v", s)
+	}
+	if s.Offset != 25 {
+		t.Errorf("offset = %d", s.Offset)
+	}
+}
+
+func TestOverlapDisjointAndFull(t *testing.T) {
+	a := EqualShare(0, 2, 20)  // slots [0,40)
+	b := EqualShare(50, 2, 20) // slots [50,90)
+	if o := a.Overlap(b); o != 0 {
+		t.Errorf("disjoint windows overlap %v", o)
+	}
+	c := EqualShare(0, 2, phy.SlotsPerFrame) // whole frame
+	if o := a.Overlap(c); o != 1 {
+		t.Errorf("window inside full frame overlaps %v, want 1", o)
+	}
+	// Overlap is measured relative to the receiver's window.
+	if o := c.Overlap(a); math.Abs(o-0.4) > 1e-15 {
+		t.Errorf("full frame vs 40 slots = %v, want 0.4", o)
+	}
+}
+
+func TestOverlapWrapping(t *testing.T) {
+	a := EqualShare(90, 1, 20) // wraps: [90,100) + [0,10)
+	b := EqualShare(0, 1, 10)  // [0,10)
+	if o := a.Overlap(b); math.Abs(o-0.5) > 1e-15 {
+		t.Errorf("wrapped overlap = %v, want 0.5", o)
+	}
+	if o := b.Overlap(a); o != 1 {
+		t.Errorf("contained overlap = %v, want 1", o)
+	}
+}
+
+func TestWrapSlotNegative(t *testing.T) {
+	if got := wrapSlot(-3); got != phy.SlotsPerFrame-3 {
+		t.Errorf("wrapSlot(-3) = %d", got)
+	}
+}

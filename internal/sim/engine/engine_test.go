@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/phy"
+	"github.com/libra-wlan/libra/internal/sim"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		APs: 2, Stations: 8,
+		Duration: 200 * time.Millisecond,
+		Seed:     42,
+		Params:   stdParams(),
+		Policy:   sim.BAFirst,
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"no APs", func(s *Spec) { s.APs = 0 }},
+		{"no stations", func(s *Spec) { s.Stations = 0 }},
+		{"no duration", func(s *Spec) { s.Duration = 0 }},
+		{"bad topology", func(s *Spec) { s.Topology = "mesh" }},
+		{"bad params", func(s *Spec) { s.Params.FAT = 0 }},
+		{"inverted impair range", func(s *Spec) { s.ImpairMinDB = 20; s.ImpairMaxDB = 5 }},
+	}
+	for _, tc := range cases {
+		spec := smallSpec()
+		tc.mut(&spec)
+		if _, err := Build(spec); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	sc, err := Build(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := New(sc, 1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := New(sc, workers).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Digest != base.Digest {
+			t.Fatalf("workers=%d digest %s != workers=1 digest %s", workers, res.Digest, base.Digest)
+		}
+		if !reflect.DeepEqual(base.Stations, res.Stations) {
+			t.Fatalf("workers=%d station results diverge", workers)
+		}
+	}
+	// And re-running the same scenario reproduces itself exactly.
+	again, err := New(sc, 1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != base.Digest {
+		t.Error("same scenario, same workers, different digest")
+	}
+}
+
+func TestEngineContention(t *testing.T) {
+	// One station per AP vs. four stations per AP: contention must cost
+	// throughput per station.
+	lone, err := Build(Spec{
+		APs: 2, Stations: 2, Duration: 200 * time.Millisecond, Seed: 1,
+		Params: stdParams(), Policy: sim.BAFirst,
+		ImpairMeanGap: -1, HysteresisDB: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded, err := Build(Spec{
+		APs: 2, Stations: 8, Duration: 200 * time.Millisecond, Seed: 1,
+		Params: stdParams(), Policy: sim.BAFirst,
+		ImpairMeanGap: -1, HysteresisDB: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := New(lone, 1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := New(crowded, 1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Bytes()/float64(len(lr.Stations)) <= cr.Bytes()/float64(len(cr.Stations)) {
+		t.Errorf("per-station bytes: lone %v <= crowded %v",
+			lr.Bytes()/float64(len(lr.Stations)), cr.Bytes()/float64(len(cr.Stations)))
+	}
+	// Membership is conserved.
+	total := 0
+	for _, m := range cr.APMembers {
+		total += m
+	}
+	if total != len(cr.Stations) {
+		t.Errorf("members %d != stations %d", total, len(cr.Stations))
+	}
+}
+
+func TestEngineImpairmentsDriveHandoffs(t *testing.T) {
+	// Frequent, deep impairments against a low handoff bar: stations must
+	// re-home at least once across the run.
+	sc, err := Build(Spec{
+		APs: 2, Stations: 8,
+		Duration: 400 * time.Millisecond, Seed: 3,
+		Params: stdParams(), Policy: sim.BAFirst,
+		ImpairMeanGap: 80 * time.Millisecond,
+		ImpairMeanDur: 150 * time.Millisecond,
+		ImpairMinDB:   25, ImpairMaxDB: 40,
+		HysteresisDB: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(sc, 4).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handoffs == 0 {
+		t.Error("no handoffs under sustained deep impairments")
+	}
+	if res.Breaks() == 0 {
+		t.Error("no link breaks under deep impairments")
+	}
+}
+
+func TestEngineOutcomes(t *testing.T) {
+	sc, err := Build(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(sc, 2).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Outcomes()
+	if len(outs) != len(res.Stations) {
+		t.Fatalf("%d outcomes for %d stations", len(outs), len(res.Stations))
+	}
+	for i, o := range outs {
+		if o.Bytes != res.Stations[i].Timeline.Bytes {
+			t.Errorf("station %d: outcome bytes %v != timeline bytes %v", i, o.Bytes, res.Stations[i].Timeline.Bytes)
+		}
+		if o.Bytes <= 0 {
+			t.Errorf("station %d delivered nothing", i)
+		}
+		if o.FinalMCS < phy.MinMCS || o.FinalMCS > phy.MaxMCS {
+			t.Errorf("station %d: final MCS %v out of range", i, o.FinalMCS)
+		}
+	}
+}
+
+func TestEngineHonorsContext(t *testing.T) {
+	sc, err := Build(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(sc, 1).Run(ctx); err == nil {
+		t.Error("cancelled context not observed")
+	}
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/libra-wlan/libra/internal/sim"
+)
+
+// goldenSpec is the pinned 4-AP/64-station scenario. The CI sim-smoke job
+// runs the same scenario through cmd/libra-sim (-aps 4 -stations 64
+// -duration 500ms -seed 1) and greps for goldenDigest, so a change here must
+// change both together — and any change to the digest means the engine's
+// arithmetic or event order moved, which is exactly what this test exists to
+// catch.
+func goldenSpec() Spec {
+	return Spec{
+		APs: 4, Stations: 64,
+		Duration: 500 * time.Millisecond,
+		Seed:     1,
+		Params: sim.Params{
+			BAOverhead: 5 * time.Millisecond,
+			FAT:        2 * time.Millisecond,
+		},
+		Policy: sim.BAFirst,
+	}
+}
+
+const goldenDigest = "874960926038cfd882ce49e973b790cf8c9812a64d3f60227a85e2179ea965c4"
+
+func TestGoldenDigest(t *testing.T) {
+	sc, err := Build(goldenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := New(sc, 1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := New(sc, 8).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Digest != r8.Digest {
+		t.Fatalf("workers=1 digest %s != workers=8 digest %s", r1.Digest, r8.Digest)
+	}
+	if r1.Digest != goldenDigest {
+		t.Errorf("digest %s != pinned %s", r1.Digest, goldenDigest)
+	}
+	// The scenario must exercise every mechanism, or the digest pins less
+	// than it claims.
+	if r1.Breaks() == 0 {
+		t.Error("golden scenario produced no link breaks")
+	}
+	if r1.Handoffs == 0 {
+		t.Error("golden scenario produced no handoffs")
+	}
+	t.Logf("events=%d breaks=%d handoffs=%d bytes=%g", r1.Events, r1.Breaks(), r1.Handoffs, r1.Bytes())
+}

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/libra-wlan/libra/internal/obs"
+	"github.com/libra-wlan/libra/internal/phy"
+)
+
+// Engine metrics (wall-clock registry; never part of the deterministic
+// trace). Counts, not timings: how much multi-AP work this process ran.
+var (
+	obsEngineRuns = obs.NewCounter("libra_sim_engine_runs_total",
+		"multi-AP engine runs started")
+	obsEngineEvents = obs.NewCounter("libra_sim_engine_events_total",
+		"events dispatched across engine runs")
+	obsSlotGrants = obs.NewCounter("libra_sim_slot_grants_total",
+		"TDMA slot schedule grants issued by APs")
+	obsHandoffs = obs.NewCounter("libra_sim_handoffs_total",
+		"station AP handoffs executed")
+	obsVerdicts = obs.NewCounter("libra_sim_interference_verdicts_total",
+		"inter-AP interference penalty changes applied to a station")
+	obsImpairments = obs.NewCounter("libra_sim_impairments_total",
+		"impairment (blockage) onsets applied to a station")
+)
+
+// Sim-time stamp quanta, mirroring the sim package's conversion so engine
+// trace events land on the same frame/slot/codeword grid as LinkSim's.
+var (
+	frameDur = time.Duration(phy.FrameDuration * float64(time.Second))
+	slotDur  = time.Duration(phy.SlotDuration * float64(time.Second))
+	cwDur    = slotDur / phy.CodewordsPerSlot
+)
+
+// simTime converts elapsed simulated time to a deterministic trace stamp.
+func simTime(elapsed time.Duration) obs.SimTime {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	frame := int64(elapsed / frameDur)
+	rem := elapsed % frameDur
+	slot := int64(rem / slotDur)
+	rem -= time.Duration(slot) * slotDur
+	return obs.SimTime{Frame: frame, Slot: slot, Codeword: int64(rem / cwDur)}
+}

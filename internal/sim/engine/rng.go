@@ -1,0 +1,43 @@
+package engine
+
+import "math"
+
+// SplitMix64 streams give every entity its own deterministic randomness. The
+// generator is seeded from (scenario seed, entity ID) only, so a station's
+// draw sequence is a pure function of the scenario — independent of worker
+// count, scheduling and every other entity. All draws happen in the serial
+// event-push phase ("drawn pre-dispatch"): handlers receive their random
+// values attached to the event and never touch a generator.
+type splitMix64 struct{ s uint64 }
+
+// newStream derives the stream for one entity.
+func newStream(seed uint64, entity int) *splitMix64 {
+	return &splitMix64{s: seed ^ (0x9e3779b97f4a7c15 * (uint64(entity) + 1))}
+}
+
+// next returns the next 64 uniform bits (Steele et al., SplitMix64 finalizer).
+func (r *splitMix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *splitMix64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// expDraw maps a uniform draw to an exponential variate with the given mean,
+// clamped away from zero so event times stay strictly increasing.
+func expDraw(u, mean float64) float64 {
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	d := -mean * math.Log(1-u)
+	if d < 1e-6 {
+		d = 1e-6
+	}
+	return d
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"time"
 
 	"github.com/libra-wlan/libra/internal/channel"
@@ -68,7 +69,21 @@ func FailoverPair(snap *channel.Snapshot, primaryTx, primaryRx int) (tx, rx int,
 // FailoverTh table must be populated (BuildFailoverTable does this for
 // snapshot-backed scenarios); when it is zero the failover is treated as
 // dead and the policy degenerates to RA-then-BA.
+//
+// Deprecated: use Run with Options{Variant: VariantFailover, Failover:
+// failover}; this wrapper remains for source compatibility and panics on
+// parameters Run would reject.
 func RunEntryFailover(e *dataset.Entry, failover *[phy.NumMCS]float64, p Params) Outcome {
+	res, err := Run(context.Background(), Scenario{Entry: e},
+		Options{Params: p, Variant: VariantFailover, Failover: failover})
+	if err != nil {
+		panic(err)
+	}
+	return res.Outcome
+}
+
+// runEntryFailover is the failover-variant core behind Run.
+func runEntryFailover(e *dataset.Entry, failover *[phy.NumMCS]float64, p Params) Outcome {
 	var (
 		elapsed time.Duration
 		bytes   float64

@@ -7,7 +7,6 @@ import (
 	"github.com/libra-wlan/libra/internal/channel"
 	"github.com/libra-wlan/libra/internal/core"
 	"github.com/libra-wlan/libra/internal/dataset"
-	"github.com/libra-wlan/libra/internal/obs"
 	"github.com/libra-wlan/libra/internal/phy"
 	"github.com/libra-wlan/libra/internal/trace"
 )
@@ -53,9 +52,13 @@ type tlState struct {
 }
 
 // tableAt builds the per-MCS expected-throughput table for a beam pair on a
-// snapshot.
-func tableAt(snap *channel.Snapshot, txBeam, rxBeam int) thTable {
+// snapshot, shifting the SNR by offsDB when non-zero (the engine's channel
+// for impairment and interference penalties; 0 is an exact no-op).
+func tableAt(snap *channel.Snapshot, txBeam, rxBeam int, offsDB float64) thTable {
 	snr := snap.SNRdB(txBeam, rxBeam)
+	if offsDB != 0 {
+		snr += offsDB
+	}
 	var t thTable
 	for m := phy.MinMCS; m <= phy.MaxMCS; m++ {
 		t[m] = phy.ExpectedThroughput(m, snr)
@@ -65,105 +68,44 @@ func tableAt(snap *channel.Snapshot, txBeam, rxBeam int) thTable {
 
 // RunTimeline simulates one policy over a multi-impairment timeline. clf is
 // consulted only by the LiBRA policy.
+//
+// Deprecated: use Run with Scenario{Timeline: tl}; this wrapper remains for
+// source compatibility and panics on parameters Run would reject.
 func RunTimeline(tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) TimelineResult {
-	res, err := RunTimelineContext(context.Background(), tl, p, pol, clf)
+	res, err := Run(context.Background(), Scenario{Timeline: tl},
+		Options{Params: p, Policy: pol, Classifier: clf})
 	if err != nil {
-		// Unreachable: Background is never canceled.
 		panic(err)
 	}
-	return res
+	return res.Timeline
 }
 
 // RunTimelineContext is RunTimeline with cooperative cancellation at segment
 // boundaries: a canceled ctx abandons the remaining segments and returns
 // ctx's error with a zero result. A run that completes is unaffected by ctx
 // — the result depends only on the timeline, parameters and classifier.
+//
+// Deprecated: use Run with Scenario{Timeline: tl}.
 func RunTimelineContext(ctx context.Context, tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) (TimelineResult, error) {
-	var res TimelineResult
+	res, err := Run(ctx, Scenario{Timeline: tl},
+		Options{Params: p, Policy: pol, Classifier: clf})
+	return res.Timeline, err
+}
+
+// runTimeline drives a LinkSim over the timeline's segments, checking ctx at
+// each segment boundary.
+func runTimeline(ctx context.Context, tl *trace.Timeline, p Params, pol Policy, clf core.Classifier) (TimelineResult, error) {
 	if len(tl.Segments) == 0 {
-		return res, nil
+		return TimelineResult{}, nil
 	}
-	cfg := p.Config()
-
-	// Bootstrap on the first segment: full training.
-	first := tl.Segments[0].Snap
-	var st tlState
-	var snr float64
-	st.txBeam, st.rxBeam, snr = first.BestPair()
-	st.mcs, _ = phy.BestMCS(snr)
-	st.prevMeas = first.Measure(st.txBeam, st.rxBeam)
-	st.prevValid = true
-
-	var tlElapsed time.Duration
-	emit := func(dur time.Duration, bps float64) {
-		if dur <= 0 {
-			return
-		}
-		res.Rate = append(res.Rate, RateInterval{Dur: dur, Bps: bps})
-		res.Bytes += bps * dur.Seconds() / 8
-		tlElapsed += dur
-	}
-	tr := p.Trace
-
-	for si, seg := range tl.Segments {
+	ls := NewLinkSim(p, pol, clf)
+	for _, seg := range tl.Segments {
 		if err := ctx.Err(); err != nil {
 			return TimelineResult{}, err
 		}
-		snap := seg.Snap
-		remaining := seg.Dur
-		cur := tableAt(snap, st.txBeam, st.rxBeam)
-
-		if si > 0 && !working(cur[st.mcs]) {
-			// Link break at the segment boundary.
-			res.Breaks++
-			obsTimelineBreaks.Inc()
-			if tr.Enabled() {
-				tr.Event(simTime(tlElapsed), "break",
-					obs.Fint("segment", int64(si)), obs.Fint("mcs", int64(st.mcs)))
-			}
-			action := decideTimeline(pol, clf, cfg, snap, &st, &cur, p)
-			if tr.Enabled() && int(action) < len(actionNames) {
-				tr.Event(simTime(tlElapsed), "verdict",
-					obs.F("action", actionNames[action]))
-			}
-			rec, executed := applyAdaptation(action, snap, &st, &cur, p, emit, &remaining)
-			res.TotalRecoveryDelay += rec
-			res.Actions = append(res.Actions, executed)
-			if tr.Enabled() && int(executed) < len(actionNames) {
-				kind := "ra_search"
-				if executed == dataset.ActBA {
-					kind = "rebeam"
-				}
-				tr.Event(simTime(tlElapsed), kind,
-					obs.Ffloat("recovery_s", rec.Seconds()), obs.Fint("mcs", int64(st.mcs)))
-			}
-		}
-
-		// Steady state within the segment: periodic probing walks the MCS
-		// toward the best working MCS on the current pair.
-		target, targetTh := bestWorking(&cur)
-		stepTime := time.Duration(cfg.ProbeInterval) * p.FAT
-		for st.mcs != target && remaining > 0 {
-			d := stepTime
-			if d > remaining {
-				d = remaining
-			}
-			emit(d, cur[st.mcs])
-			remaining -= d
-			if st.mcs < target {
-				st.mcs++
-			} else {
-				st.mcs--
-			}
-		}
-		if remaining > 0 {
-			emit(remaining, targetTh)
-			st.mcs = target
-		}
-		st.prevMeas = snap.Measure(st.txBeam, st.rxBeam)
-		st.prevValid = true
+		ls.Segment(seg.Snap, seg.Dur)
 	}
-	return res, nil
+	return ls.Result(), nil
 }
 
 // bestWorking returns the highest-throughput MCS of a table (falling back to
@@ -178,8 +120,9 @@ func bestWorking(t *thTable) (phy.MCS, float64) {
 	return best, bestTh
 }
 
-// decideTimeline picks the adaptation action at a break.
-func decideTimeline(pol Policy, clf core.Classifier, cfg core.Config, snap *channel.Snapshot, st *tlState, cur *thTable, p Params) dataset.Action {
+// decideTimeline picks the adaptation action at a break. offsDB shifts every
+// SNR evaluation (0 for plain timeline runs).
+func decideTimeline(pol Policy, clf core.Classifier, cfg core.Config, snap *channel.Snapshot, st *tlState, cur *thTable, p Params, offsDB float64) dataset.Action {
 	switch pol {
 	case BAFirst:
 		return dataset.ActBA
@@ -188,8 +131,8 @@ func decideTimeline(pol Policy, clf core.Classifier, cfg core.Config, snap *chan
 	case OracleData, OracleDelay:
 		// Greedy per-break optimum (§8.1: the oracles make optimal
 		// decisions only with respect to restoring a link).
-		ra := planOutcome(false, snap, st, cur, p)
-		ba := planOutcome(true, snap, st, cur, p)
+		ra := planOutcome(false, snap, st, cur, p, offsDB)
+		ba := planOutcome(true, snap, st, cur, p, offsDB)
 		if pol == OracleData {
 			if ra.Bytes >= ba.Bytes {
 				return dataset.ActRA
@@ -202,11 +145,18 @@ func decideTimeline(pol Policy, clf core.Classifier, cfg core.Config, snap *chan
 		return dataset.ActBA
 	default: // LiBRA
 		snr := snap.SNRdB(st.txBeam, st.rxBeam)
+		if offsDB != 0 {
+			snr += offsDB
+		}
 		cdr := phy.CDR(st.mcs, snr)
 		if cdr < 0.01 || !st.prevValid {
 			return core.MissingACKAction(st.mcs, cfg)
 		}
 		meas := snap.Measure(st.txBeam, st.rxBeam)
+		if offsDB != 0 {
+			meas.RSSdBm += offsDB
+			meas.SNRdB += offsDB
+		}
 		f := dataset.FeaturizeObserved(st.prevMeas, meas, cdr, st.mcs)
 		action := clf.Classify(f[:])
 		if action == dataset.ActNA {
@@ -221,11 +171,11 @@ func decideTimeline(pol Policy, clf core.Classifier, cfg core.Config, snap *chan
 
 // planOutcome evaluates one branch (BA-first or RA-first) analytically for
 // the oracles, using a synthetic entry built from the snapshot tables.
-func planOutcome(baFirst bool, snap *channel.Snapshot, st *tlState, cur *thTable, p Params) Outcome {
+func planOutcome(baFirst bool, snap *channel.Snapshot, st *tlState, cur *thTable, p Params, offsDB float64) Outcome {
 	e := &dataset.Entry{InitMCS: st.mcs}
 	e.InitBeamTh = *cur
 	tb, rb, _ := snap.BestPair()
-	e.BestBeamTh = tableAt(snap, tb, rb)
+	e.BestBeamTh = tableAt(snap, tb, rb, offsDB)
 	return runPlan(e, paramsForSegment(p), baFirst)
 }
 
@@ -241,8 +191,9 @@ func paramsForSegment(p Params) Params {
 // applyAdaptation executes the chosen action on the timeline state, emitting
 // rate intervals for the overheads and probe frames. It returns the recovery
 // delay and the mechanism actually executed (an NA misprediction resolves to
-// the missing-ACK fallback; a failed RA resolves to BA).
-func applyAdaptation(action dataset.Action, snap *channel.Snapshot, st *tlState, cur *thTable, p Params, emit func(time.Duration, float64), remaining *time.Duration) (time.Duration, dataset.Action) {
+// the missing-ACK fallback; a failed RA resolves to BA). offsDB shifts the
+// rebuilt throughput tables like every other channel evaluation.
+func applyAdaptation(action dataset.Action, snap *channel.Snapshot, st *tlState, cur *thTable, p Params, emit func(time.Duration, float64), remaining *time.Duration, offsDB float64) (time.Duration, dataset.Action) {
 	var delay time.Duration
 	cfg := p.Config()
 	spend := func(d time.Duration, bps float64) {
@@ -280,7 +231,7 @@ func applyAdaptation(action dataset.Action, snap *channel.Snapshot, st *tlState,
 		delay += cfg.BAOverhead
 		tb, rb, _ := snap.BestPair()
 		st.txBeam, st.rxBeam = tb, rb
-		best := tableAt(snap, tb, rb)
+		best := tableAt(snap, tb, rb, offsDB)
 		*cur = best
 		ra := doRA(&best)
 		if ra.found {
@@ -303,7 +254,7 @@ func applyAdaptation(action dataset.Action, snap *channel.Snapshot, st *tlState,
 			delay += cfg.BAOverhead
 			tb, rb, _ := snap.BestPair()
 			st.txBeam, st.rxBeam = tb, rb
-			best := tableAt(snap, tb, rb)
+			best := tableAt(snap, tb, rb, offsDB)
 			*cur = best
 			ra2 := doRA(&best)
 			if ra2.found {

@@ -39,6 +39,7 @@ import (
 	"github.com/libra-wlan/libra/internal/phy"
 	"github.com/libra-wlan/libra/internal/predict"
 	"github.com/libra-wlan/libra/internal/sim"
+	"github.com/libra-wlan/libra/internal/sim/engine"
 	"github.com/libra-wlan/libra/internal/trace"
 	"github.com/libra-wlan/libra/internal/vr"
 )
@@ -188,7 +189,34 @@ type (
 	Timeline = trace.Timeline
 	// ScenarioPools pre-generates timeline channel states.
 	ScenarioPools = trace.Pools
+	// Scenario is the input of one unified policy run: exactly one of an
+	// entry (single break) or a timeline (multi-impairment) is set.
+	Scenario = sim.Scenario
+	// RunOptions carries the parameters, policy, classifier and protocol
+	// variant of a unified policy run.
+	RunOptions = sim.Options
+	// RunResult is the output of Run: Outcome for entry scenarios,
+	// Timeline for timeline scenarios.
+	RunResult = sim.Result
+	// Variant selects a protocol-design ablation (standard Tx-initiated,
+	// failover-beam, or Rx-initiated).
+	Variant = sim.Variant
 )
+
+// Protocol-design variants for RunOptions.Variant.
+const (
+	VariantStandard    = sim.VariantStandard
+	VariantFailover    = sim.VariantFailover
+	VariantRxInitiated = sim.VariantRxInitiated
+)
+
+// Run executes one scenario under one set of options — the unified,
+// context-first entry point that subsumes RunEntry, RunTimeline and their
+// variant siblings. New code should call Run; the older names remain as thin
+// wrappers over it and are documented deprecated at their definitions.
+func Run(ctx context.Context, sc Scenario, opt RunOptions) (RunResult, error) {
+	return sim.Run(ctx, sc, opt)
+}
 
 // Evaluation policies.
 const (
@@ -200,21 +228,41 @@ const (
 )
 
 // RunEntry replays one policy over one dataset entry's link break.
+//
+// Deprecated: use Run with Scenario{Entry: e}. This wrapper delegates to Run
+// and panics on parameters Run would reject.
 func RunEntry(e *Entry, p Params, pol Policy, clf Classifier) Outcome {
-	return sim.RunEntry(e, p, pol, clf)
+	res, err := Run(context.Background(), Scenario{Entry: e},
+		RunOptions{Params: p, Policy: pol, Classifier: clf})
+	if err != nil {
+		panic(err)
+	}
+	return res.Outcome
 }
 
 // RunTimeline replays one policy over a multi-impairment timeline.
+//
+// Deprecated: use Run with Scenario{Timeline: tl}. This wrapper delegates to
+// RunTimelineContext (the non-context/context pair delegates one way only)
+// and panics on parameters Run would reject.
 func RunTimeline(tl *Timeline, p Params, pol Policy, clf Classifier) TimelineResult {
-	return sim.RunTimeline(tl, p, pol, clf)
+	res, err := RunTimelineContext(context.Background(), tl, p, pol, clf)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // RunTimelineContext is RunTimeline with cooperative cancellation at
 // timeline-segment boundaries: a canceled ctx abandons the remaining
 // segments and returns ctx's error. A completed run matches RunTimeline's
 // result exactly.
+//
+// Deprecated: use Run with Scenario{Timeline: tl}.
 func RunTimelineContext(ctx context.Context, tl *Timeline, p Params, pol Policy, clf Classifier) (TimelineResult, error) {
-	return sim.RunTimelineContext(ctx, tl, p, pol, clf)
+	res, err := Run(ctx, Scenario{Timeline: tl},
+		RunOptions{Params: p, Policy: pol, Classifier: clf})
+	return res.Timeline, err
 }
 
 // NewScenarioPools builds the §8.3 timeline state pools.
@@ -280,4 +328,33 @@ func NewMarkovPredictor(order int) *MarkovPredictor { return predict.NewMarkovPr
 
 // RunEntryRxInitiated replays a break under the Rx-initiated LiBRA variant
 // (§7 design-choice ablation).
+//
+// Deprecated: use Run with RunOptions{Variant: VariantRxInitiated}.
 var RunEntryRxInitiated = sim.RunEntryRxInitiated
+
+// Multi-AP discrete-event engine.
+type (
+	// EngineSpec declares a multi-AP scenario: deployment size, topology,
+	// adaptation parameters, contention/interference/impairment knobs.
+	EngineSpec = engine.Spec
+	// EngineScenario is the immutable precomputed form of an EngineSpec
+	// (ray-traced snapshots, interference penalties); build once, run many.
+	EngineScenario = engine.Scenario
+	// Engine runs an EngineScenario deterministically: event traces and
+	// the scenario digest are byte-identical for any worker count.
+	Engine = engine.Engine
+	// EngineResult is a completed engine run (per-station results,
+	// aggregate counters, the scenario digest).
+	EngineResult = engine.Result
+	// StationResult is one station's engine-run summary.
+	StationResult = engine.StationResult
+)
+
+// BuildScenario validates and precomputes a multi-AP scenario — the
+// expensive ray-tracing step, run once per spec.
+func BuildScenario(spec EngineSpec) (*EngineScenario, error) { return engine.Build(spec) }
+
+// NewEngine creates a deterministic multi-AP engine over a built scenario
+// with the given worker count (<=0 picks GOMAXPROCS). Workers change wall
+// time only, never results.
+func NewEngine(sc *EngineScenario, workers int) *Engine { return engine.New(sc, workers) }
